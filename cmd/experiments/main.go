@@ -1,0 +1,91 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -list
+//	experiments -run fig3
+//	experiments -run all -tsv -out results/
+//	experiments -run fig6 -paper        # paper-scale durations (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "", "experiment id (fig1..fig13, tab2, tab3) or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		tsv      = flag.Bool("tsv", false, "emit tab-separated values instead of aligned tables")
+		outDir   = flag.String("out", "", "also write each table to <out>/<id>.tsv")
+		paper    = flag.Bool("paper", false, "paper-scale durations and seed counts (hours)")
+		duration = flag.Duration("duration", 0, "override simulated duration per run")
+		seeds    = flag.Int("seeds", 0, "override seeds per data point")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, id := range experiment.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -run <id> or -list required")
+		os.Exit(2)
+	}
+
+	opts := experiment.Quick()
+	if *paper {
+		opts = experiment.Paper()
+	}
+	if *duration > 0 {
+		opts.Duration = sim.Duration(*duration)
+		opts.Warmup = opts.Duration / 2
+	}
+	if *seeds > 0 {
+		opts.Seeds = *seeds
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiment.IDs()
+	}
+	registry := experiment.Registry()
+	for _, id := range ids {
+		runner, ok := registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		table, err := runner(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *tsv {
+			fmt.Print(table.TSV())
+		} else {
+			fmt.Print(table.String())
+		}
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, table.ID+".tsv")
+			if err := os.WriteFile(path, []byte(table.TSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

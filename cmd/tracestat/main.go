@@ -1,0 +1,45 @@
+// Command tracestat analyses a JSONL frame capture produced by
+// `wlansim -trace` (or any wlan.NewTraceWriter consumer): frame counts by
+// type, per-station delivery/collision/retry statistics, and goodput.
+//
+//	wlansim -scheme TORA-CSMA -nodes 20 -disc 16 -trace cap.jsonl
+//	tracestat cap.jsonl
+//	tracestat -top 5 cap.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	top := flag.Int("top", 0, "print only the top-N stations by delivered bits (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat [-top N] <capture.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	sum, err := trace.Analyze(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+		os.Exit(1)
+	}
+	if *top > 0 && *top < len(sum.Stations) {
+		sort.Slice(sum.Stations, func(i, j int) bool {
+			return sum.Stations[i].BitsOK > sum.Stations[j].BitsOK
+		})
+		sum.Stations = sum.Stations[:*top]
+	}
+	fmt.Print(sum.String())
+}

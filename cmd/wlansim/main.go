@@ -1,0 +1,116 @@
+// Command wlansim runs a single WLAN simulation and prints a summary.
+//
+// Examples:
+//
+//	wlansim -scheme wTOP-CSMA -nodes 40 -duration 60s
+//	wlansim -scheme 802.11 -nodes 20 -disc 16 -seed 7 -series
+//	wlansim -scheme wTOP-CSMA -nodes 10 -weights 1,1,1,2,2,2,3,3,3,3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/wlan"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "802.11", "channel access scheme: 802.11, IdleSense, wTOP-CSMA, TORA-CSMA")
+		nodes    = flag.Int("nodes", 20, "number of stations")
+		disc     = flag.Float64("disc", 0, "place stations uniformly in a disc of this radius in metres (0 = fully connected circle)")
+		duration = flag.Duration("duration", 30*time.Second, "simulated run time")
+		seed     = flag.Int64("seed", 1, "random seed")
+		weights  = flag.String("weights", "", "comma-separated per-station weights (wTOP-CSMA only)")
+		series   = flag.Bool("series", false, "print the windowed throughput/control time series")
+		perNode  = flag.Bool("per-node", false, "print per-station throughput")
+		rtscts   = flag.Bool("rtscts", false, "enable the RTS/CTS exchange")
+		errRate  = flag.Float64("error-rate", 0, "i.i.d. data frame error rate in [0,1)")
+		traceOut = flag.String("trace", "", "write a JSONL frame capture to this file")
+	)
+	flag.Parse()
+
+	var tp *wlan.Topology
+	if *disc > 0 {
+		tp = wlan.HiddenDisc(*nodes, *disc, *seed)
+	} else {
+		tp = wlan.Connected(*nodes)
+	}
+
+	cfg := wlan.Config{
+		Topology:       tp,
+		Scheme:         wlan.Scheme(*scheme),
+		Duration:       *duration,
+		Seed:           *seed,
+		RTSCTS:         *rtscts,
+		FrameErrorRate: *errRate,
+	}
+	var traceWriter *wlan.TraceWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		traceWriter = wlan.NewTraceWriter(f)
+		cfg.Trace = traceWriter
+	}
+	if *weights != "" {
+		for _, tok := range strings.Split(*weights, ",") {
+			w, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				fatalf("bad weight %q: %v", tok, err)
+			}
+			cfg.Weights = append(cfg.Weights, w)
+		}
+	}
+
+	res, err := wlan.Run(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if traceWriter != nil {
+		if err := traceWriter.Close(); err != nil {
+			fatalf("trace: %v", err)
+		}
+		fmt.Printf("trace       %d frames -> %s\n", traceWriter.Count(), *traceOut)
+	}
+
+	fmt.Printf("scheme      %s\n", *scheme)
+	fmt.Printf("stations    %d (hidden pairs: %d)\n", tp.N(), len(tp.HiddenPairs()))
+	fmt.Printf("duration    %v simulated\n", *duration)
+	fmt.Printf("throughput  %.3f Mbps (converged %.3f Mbps)\n",
+		res.ThroughputMbps(), res.ConvergedThroughput(cfg.Duration/2)/1e6)
+	fmt.Printf("successes   %d\n", res.Successes)
+	fmt.Printf("collisions  %d (%.1f%%)\n", res.Collisions, 100*res.CollisionRate())
+	fmt.Printf("idle slots  %.2f per transmission\n", res.APIdleSlots)
+	fmt.Printf("fairness    Jain %.4f (weighted %.4f)\n", res.JainIndex(), res.WeightedJainIndex())
+	fmt.Printf("events      %d\n", res.EventsFired)
+
+	if *perNode {
+		fmt.Println("\nstation  weight  Mbps      successes  failures")
+		for i, st := range res.Stations {
+			fmt.Printf("%-7d  %-6.1f  %-8.4f  %-9d  %d\n",
+				i, st.Weight, st.Throughput/1e6, st.Successes, st.Failures)
+		}
+	}
+	if *series {
+		fmt.Println("\ntime(s)  Mbps     control")
+		for i, at := range res.ThroughputSeries.Times {
+			ctl := ""
+			if i < res.ControlSeries.Len() {
+				ctl = fmt.Sprintf("%.5f", res.ControlSeries.Values[i])
+			}
+			fmt.Printf("%-7.2f  %-7.3f  %s\n", at.Seconds(), res.ThroughputSeries.Values[i]/1e6, ctl)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wlansim: "+format+"\n", args...)
+	os.Exit(1)
+}

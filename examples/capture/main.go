@@ -1,0 +1,52 @@
+// Capture: record every frame of a simulation to a JSONL trace, then
+// analyse it offline — per-station delivery, retries, and short-term
+// fairness (Jain's index over sliding windows of successful frames).
+//
+// Short-term fairness is where backoff families differ visibly: the
+// standard DCF's post-success reset lets winners win again (bursty
+// service), while p-persistent CSMA's per-slot independence spreads
+// successes evenly even over short horizons.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/wlan"
+)
+
+func main() {
+	const n = 10
+	for _, scheme := range []wlan.Scheme{wlan.DCF, wlan.WTOPCSMA} {
+		var buf bytes.Buffer
+		w := wlan.NewTraceWriter(&buf)
+		res, err := wlan.Run(wlan.Config{
+			Topology: wlan.Connected(n),
+			Scheme:   scheme,
+			Duration: 30 * time.Second,
+			Trace:    w,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := w.Close(); err != nil {
+			panic(err)
+		}
+
+		sum, err := wlan.AnalyzeTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			panic(err)
+		}
+		_, stf, err := wlan.ShortTermFairness(bytes.NewReader(buf.Bytes()), 3*n)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-10s  %6.2f Mbps  %7d frames captured  long-term Jain %.4f  short-term Jain %.4f\n",
+			scheme, res.ThroughputMbps(), sum.Frames, res.JainIndex(), stf)
+	}
+	fmt.Println("\nBoth schemes are long-term fair; the short-term index separates")
+	fmt.Println("them. Inspect a capture yourself:")
+	fmt.Println("  go run ./cmd/wlansim -scheme 802.11 -nodes 10 -trace cap.jsonl")
+	fmt.Println("  go run ./cmd/tracestat cap.jsonl")
+}

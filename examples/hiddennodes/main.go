@@ -1,0 +1,65 @@
+// Hidden nodes: the paper's headline scenario. Stations scattered in a
+// 16 m disc around the AP can be mutually out of carrier-sense range
+// (sensing radius 24 m), so their backoff clocks free-run over each
+// other's transmissions and frames collide at the AP.
+//
+// Model-based schemes (IdleSense) regulate a statistic whose optimal
+// value silently changed, and collapse. The paper's model-free schemes
+// keep climbing the measured throughput gradient; the exponential-
+// backoff TORA-CSMA typically ends up on top — the paper's argument for
+// keeping exponential backoff.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/wlan"
+)
+
+func main() {
+	const (
+		n        = 30
+		seed     = 2024
+		duration = 90 * time.Second
+	)
+	tp := wlan.HiddenDisc(n, 16, seed)
+	fmt.Printf("Topology: %d stations in a 16 m disc, %d hidden pairs.\n\n",
+		n, len(tp.HiddenPairs()))
+
+	fmt.Println("scheme      converged Mbps  collisions  idle slots/tx")
+	for _, scheme := range []wlan.Scheme{wlan.DCF, wlan.IdleSense, wlan.WTOPCSMA, wlan.TORACSMA} {
+		res, err := wlan.Run(wlan.Config{
+			Topology: tp,
+			Scheme:   scheme,
+			Duration: duration,
+			Seed:     seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-10s  %-14.2f  %-9.1f%%  %.2f\n",
+			scheme,
+			res.ConvergedThroughput(duration/2)/1e6,
+			100*res.CollisionRate(),
+			res.APIdleSlots)
+	}
+
+	fmt.Println("\nCompare the same four schemes on a fully connected layout:")
+	conn := wlan.Connected(n)
+	for _, scheme := range []wlan.Scheme{wlan.DCF, wlan.IdleSense, wlan.WTOPCSMA, wlan.TORACSMA} {
+		res, err := wlan.Run(wlan.Config{
+			Topology: conn,
+			Scheme:   scheme,
+			Duration: duration,
+			Seed:     seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-10s  %6.2f Mbps\n", scheme, res.ConvergedThroughput(duration/2)/1e6)
+	}
+	fmt.Println("\nNote how IdleSense swaps from best-in-class to collapsed once")
+	fmt.Println("hidden pairs appear, while the stochastic-approximation schemes")
+	fmt.Println("hold up — and TORA-CSMA's exponential backoff wins among them.")
+}

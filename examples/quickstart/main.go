@@ -1,0 +1,41 @@
+// Quickstart: simulate a saturated WLAN of 20 stations under the
+// standard 802.11 DCF and under wTOP-CSMA (the paper's Kiefer–Wolfowitz
+// tuned p-persistent CSMA), and compare both against the analytic
+// optimum.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/wlan"
+)
+
+func main() {
+	const n = 20
+	const duration = 60 * time.Second
+
+	fmt.Printf("Saturated uplink, %d stations, fully connected, %v simulated.\n\n", n, duration)
+
+	for _, scheme := range []wlan.Scheme{wlan.DCF, wlan.WTOPCSMA} {
+		res, err := wlan.Run(wlan.Config{
+			Topology: wlan.Connected(n),
+			Scheme:   scheme,
+			Duration: duration,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-10s  %6.2f Mbps converged   collisions %4.1f%%   Jain %.4f\n",
+			scheme,
+			res.ConvergedThroughput(duration/2)/1e6,
+			100*res.CollisionRate(),
+			res.JainIndex())
+	}
+
+	fmt.Printf("\nAnalytic optimum (Theorem 2): S(p*) = %.2f Mbps at p* = %.4f\n",
+		wlan.MaxThroughputMbps(n), wlan.OptimalAttemptProbability(n))
+	fmt.Printf("Bianchi prediction for standard 802.11: %.2f Mbps\n", wlan.DCFThroughputMbps(n))
+	fmt.Println("\nwTOP-CSMA reaches the optimum without knowing N, the PHY timing,")
+	fmt.Println("or the topology — it climbs the measured throughput gradient.")
+}

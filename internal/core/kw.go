@@ -1,0 +1,223 @@
+// Package core implements the paper's contribution: Kiefer–Wolfowitz
+// stochastic approximation applied to online MAC tuning, packaged as the
+// two AP-side controllers of Algorithms 1 and 2 — wTOP-CSMA (tunes the
+// p-persistent control variable p) and TORA-CSMA (tunes the RandomReset
+// reset probability p0 and stage j).
+//
+// The controllers are event-free and engine-agnostic: the surrounding
+// system feeds them throughput measurements per UPDATE_PERIOD window and
+// broadcasts the control values they emit. That makes the same code
+// testable against synthetic objectives (convergence proofs in the test
+// suite), the analytic model, and both simulators.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// GainSchedule supplies the Kiefer–Wolfowitz gain sequences. The classic
+// convergence conditions require b_k → 0, Σ a_k = ∞, Σ a_k·b_k < ∞ and
+// Σ (a_k/b_k)² < ∞.
+type GainSchedule interface {
+	// A returns the step gain a_k for iteration k ≥ 1.
+	A(k int) float64
+	// B returns the probe offset b_k for iteration k ≥ 1.
+	B(k int) float64
+}
+
+// PowerGains is the standard polynomial schedule a_k = A0/k^AExp,
+// b_k = B0/k^BExp. The paper uses a_k = 1/k, b_k = 1/k^(1/3), which
+// satisfies all four summability conditions.
+type PowerGains struct {
+	A0, AExp float64
+	B0, BExp float64
+}
+
+// PaperGains returns the schedule used in Algorithms 1 and 2.
+func PaperGains() PowerGains {
+	return PowerGains{A0: 1, AExp: 1, B0: 1, BExp: 1.0 / 3}
+}
+
+// A implements GainSchedule.
+func (g PowerGains) A(k int) float64 { return g.A0 / math.Pow(float64(k), g.AExp) }
+
+// B implements GainSchedule.
+func (g PowerGains) B(k int) float64 { return g.B0 / math.Pow(float64(k), g.BExp) }
+
+// Validate checks the Kiefer–Wolfowitz summability conditions for a
+// polynomial schedule:
+//
+//	Σ a_k = ∞        ⇔ AExp ≤ 1
+//	b_k → 0          ⇔ BExp > 0
+//	Σ a_k·b_k < ∞    ⇔ AExp + BExp > 1
+//	Σ (a_k/b_k)² < ∞ ⇔ 2·(AExp − BExp) > 1
+func (g PowerGains) Validate() error {
+	switch {
+	case g.A0 <= 0 || g.B0 <= 0:
+		return fmt.Errorf("core: gain scales A0=%v B0=%v must be positive", g.A0, g.B0)
+	case g.AExp > 1:
+		return fmt.Errorf("core: AExp=%v > 1 makes Σ a_k finite", g.AExp)
+	case g.BExp <= 0:
+		return fmt.Errorf("core: BExp=%v ≤ 0 keeps b_k from vanishing", g.BExp)
+	case g.AExp+g.BExp <= 1:
+		return fmt.Errorf("core: AExp+BExp=%v ≤ 1 makes Σ a_k·b_k diverge", g.AExp+g.BExp)
+	case 2*(g.AExp-g.BExp) <= 1:
+		return fmt.Errorf("core: 2(AExp−BExp)=%v ≤ 1 makes Σ (a_k/b_k)² diverge", 2*(g.AExp-g.BExp))
+	}
+	return nil
+}
+
+// Phase tells which probe window the optimiser is in.
+type Phase int
+
+// Probe phases: the optimiser alternates a "plus" window at x+b_k with a
+// "minus" window at x−b_k, then applies one gradient step.
+const (
+	PhasePlus Phase = iota
+	PhaseMinus
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	if p == PhasePlus {
+		return "plus"
+	}
+	return "minus"
+}
+
+// KieferWolfowitz is the finite-difference stochastic approximation
+// optimiser of Section III-B, maximising an unknown function S(x) from
+// noisy paired measurements:
+//
+//	x_{k+1} = x_k + a_k · (y_plus − y_minus) / b_k
+//
+// where y_plus and y_minus estimate S(x_k + b_k) and S(x_k − b_k). The
+// iterate is projected onto [Lo, Hi] after every update, matching the
+// clamping in Algorithm 1 (p kept within [0, 0.9]).
+type KieferWolfowitz struct {
+	Gains GainSchedule
+	// Lo and Hi bound the probe points (projection interval).
+	Lo, Hi float64
+	// Scale divides the measurement difference to non-dimensionalise the
+	// gradient: with throughput measured in bits/second the raw gradient
+	// would dwarf a_k. Algorithm 1 sidesteps this by measuring in
+	// bytes/period; Scale makes the normalisation explicit. Zero means 1.
+	Scale float64
+	// Relative, when true, normalises each finite difference by the mean
+	// of the probe pair, so the update estimates d(ln S)/dx rather than
+	// dS/dx. This makes the step size scale-free (no Scale tuning), large
+	// on the exponential collision-collapse tail where S decays by
+	// orders of magnitude, and small near the optimum. Since ln is a
+	// strictly monotone transform, quasi-concavity — and hence the
+	// Kiefer–Wolfowitz convergence point — is unchanged. The gradient
+	// magnitude is bounded by 2/b_k because |y⁺−y⁻| ≤ y⁺+y⁻ for
+	// non-negative measurements.
+	Relative bool
+
+	x      float64
+	k      int
+	phase  Phase
+	yPlus  float64
+	probes int
+}
+
+// NewKieferWolfowitz returns an optimiser starting at x0 with the given
+// projection interval. It starts at iteration k = 2 as Algorithm 1 does
+// (avoiding the overly aggressive a_1 = 1, b_1 = 1 first step).
+func NewKieferWolfowitz(x0, lo, hi float64, gains GainSchedule) *KieferWolfowitz {
+	if lo >= hi {
+		panic(fmt.Sprintf("core: projection interval [%v, %v] empty", lo, hi))
+	}
+	if x0 < lo || x0 > hi {
+		panic(fmt.Sprintf("core: x0=%v outside [%v, %v]", x0, lo, hi))
+	}
+	return &KieferWolfowitz{Gains: gains, Lo: lo, Hi: hi, x: x0, k: 2}
+}
+
+// X returns the current iterate x_k (the candidate optimum).
+func (kw *KieferWolfowitz) X() float64 { return kw.x }
+
+// K returns the current iteration index.
+func (kw *KieferWolfowitz) K() int { return kw.k }
+
+// Phase returns which probe window the optimiser expects a measurement
+// for next.
+func (kw *KieferWolfowitz) Phase() Phase { return kw.phase }
+
+// Probe returns the control value to apply during the upcoming
+// measurement window: x + b_k in the plus phase, x − b_k in the minus
+// phase, projected onto [Lo, Hi].
+func (kw *KieferWolfowitz) Probe() float64 {
+	b := kw.Gains.B(kw.k)
+	if kw.phase == PhasePlus {
+		return kw.clamp(kw.x + b)
+	}
+	return kw.clamp(kw.x - b)
+}
+
+// Measure feeds the throughput estimate observed during the current probe
+// window and advances the phase. On completing a minus window it applies
+// the Kiefer–Wolfowitz update and returns true; the new iterate is then
+// available from X.
+func (kw *KieferWolfowitz) Measure(y float64) (updated bool) {
+	kw.probes++
+	if kw.phase == PhasePlus {
+		kw.yPlus = y
+		kw.phase = PhaseMinus
+		return false
+	}
+	den := kw.Scale
+	if kw.Relative {
+		den = (kw.yPlus + y) / 2
+	}
+	if den <= 0 {
+		den = 1 // degenerate pair (both zero): gradient carries no signal
+	}
+	a, b := kw.Gains.A(kw.k), kw.Gains.B(kw.k)
+	grad := (kw.yPlus - y) / den / b
+	kw.x = kw.clamp(kw.x + a*grad)
+	kw.k++
+	kw.phase = PhasePlus
+	return true
+}
+
+// Reset re-centres the iterate (used by TORA-CSMA's stage switches, which
+// reset pval to 0.5) without restarting the gain schedule.
+func (kw *KieferWolfowitz) Reset(x0 float64) {
+	kw.x = kw.clamp(x0)
+	kw.phase = PhasePlus
+}
+
+// RewindIteration steps the gain schedule back by one iteration (never
+// below the starting index 2). Algorithm 2 increments k only on ordinary
+// updates: a stage switch re-centres pval *without* consuming an
+// iteration, which this method expresses on top of Measure's unconditional
+// advance.
+func (kw *KieferWolfowitz) RewindIteration() {
+	if kw.k > 2 {
+		kw.k--
+	}
+}
+
+// Restart re-centres the iterate and rewinds the gain schedule to k = 2,
+// regaining large step sizes — useful after a detected regime change
+// (node churn) when the schedule has annealed too far.
+func (kw *KieferWolfowitz) Restart(x0 float64) {
+	kw.Reset(x0)
+	kw.k = 2
+}
+
+// Probes returns the total number of measurement windows consumed.
+func (kw *KieferWolfowitz) Probes() int { return kw.probes }
+
+func (kw *KieferWolfowitz) clamp(x float64) float64 {
+	switch {
+	case x < kw.Lo:
+		return kw.Lo
+	case x > kw.Hi:
+		return kw.Hi
+	default:
+		return x
+	}
+}

@@ -1,0 +1,101 @@
+package eventsim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	// Duration is the simulated time covered.
+	Duration sim.Duration
+	// Throughput is total delivered payload over Duration, bits/second.
+	Throughput float64
+	// Stations holds per-station statistics in station-index order.
+	Stations []StationStats
+	// Successes and Collisions count completed station transmissions by
+	// outcome (a frame involved in any overlap counts as one collision;
+	// in RTS/CTS mode collided RTS frames count here too).
+	Successes, Collisions int64
+	// FrameErrors counts data frames lost to the i.i.d. channel error
+	// process (Config.FrameErrorRate) rather than to collisions.
+	FrameErrors int64
+	// APIdleSlots is the mean number of idle slots between busy periods
+	// observed at the AP (Table III's statistic).
+	APIdleSlots float64
+	// MaxConcurrent is the peak number of simultaneously in-air data
+	// frames. It exceeds 1 only through collisions; in a fully connected
+	// network it can still reach 2 via slot-synchronised attempts, while
+	// hidden topologies routinely push it higher.
+	MaxConcurrent int
+	// ThroughputSeries samples windowed throughput (bits/s) at every
+	// UPDATE_PERIOD boundary.
+	ThroughputSeries stats.TimeSeries
+	// ControlSeries samples the broadcast control variable (p for
+	// wTOP-CSMA, p0 for TORA-CSMA) at the same boundaries.
+	ControlSeries stats.TimeSeries
+	// ActiveSeries samples the active-station count (node churn).
+	ActiveSeries stats.TimeSeries
+	// EventsFired counts kernel events, for performance reporting.
+	EventsFired uint64
+}
+
+// ThroughputMbps returns the run throughput in Mbit/s.
+func (r *Result) ThroughputMbps() float64 { return r.Throughput / 1e6 }
+
+// ConvergedThroughput averages windowed throughput after the warmup
+// prefix, excluding the adaptation transient.
+func (r *Result) ConvergedThroughput(warmup sim.Duration) float64 {
+	return r.ThroughputSeries.MeanAfter(sim.Time(warmup))
+}
+
+// JainIndex returns the fairness index over per-station throughputs of
+// stations that delivered or attempted anything.
+func (r *Result) JainIndex() float64 {
+	var xs []float64
+	for _, st := range r.Stations {
+		if st.Successes+st.Failures > 0 {
+			xs = append(xs, st.Throughput)
+		}
+	}
+	return stats.JainIndex(xs)
+}
+
+// WeightedJainIndex returns the weight-normalised fairness index
+// (Definition 2's criterion).
+func (r *Result) WeightedJainIndex() float64 {
+	var xs, ws []float64
+	for _, st := range r.Stations {
+		if st.Successes+st.Failures > 0 {
+			xs = append(xs, st.Throughput)
+			ws = append(ws, st.Weight)
+		}
+	}
+	idx, err := stats.WeightedJainIndex(xs, ws)
+	if err != nil {
+		return 0
+	}
+	return idx
+}
+
+// CollisionRate returns collided transmissions as a fraction of all
+// completed transmissions.
+func (r *Result) CollisionRate() float64 {
+	total := r.Successes + r.Collisions
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Collisions) / float64(total)
+}
+
+// String renders a compact human-readable summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "duration %.2fs  throughput %.3f Mbps  successes %d  collisions %d (%.1f%%)  idle slots %.2f",
+		sim.Time(0).Add(r.Duration).Seconds(), r.ThroughputMbps(), r.Successes, r.Collisions,
+		100*r.CollisionRate(), r.APIdleSlots)
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+func TestRTSCTSEliminatesHiddenCollisionsOnData(t *testing.T) {
+	// The aggressive hidden pair that loses ~everything in basic mode
+	// (TestHiddenPairOverlapDetection) must deliver most frames with
+	// RTS/CTS: collisions can only hit the short RTS frames.
+	tp := hiddenTopo(2)
+	s, err := New(Config{Topology: tp, Policies: fixedPPolicies(2, 0.5), Seed: 9, RTSCTS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(5 * sim.Second)
+	if res.Successes == 0 {
+		t.Fatal("no successes under RTS/CTS")
+	}
+	// Throughput must be a large multiple of the basic-mode disaster.
+	basic, err := New(Config{Topology: tp, Policies: fixedPPolicies(2, 0.5), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := basic.Run(5 * sim.Second)
+	if res.Throughput < 5*rb.Throughput {
+		t.Errorf("RTS/CTS %.2f Mbps vs basic %.2f Mbps: expected a large win",
+			res.ThroughputMbps(), rb.ThroughputMbps())
+	}
+}
+
+func TestRTSCTSOverheadInConnectedNetwork(t *testing.T) {
+	// The flip side (the paper's reason RTS/CTS defaults off): in a
+	// fully connected network at a sane p, RTS/CTS only adds control
+	// overhead and loses throughput.
+	n, p := 10, 0.02
+	basic, err := New(Config{Topology: connectedTopo(n), Policies: fixedPPolicies(n, p), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts, err := New(Config{Topology: connectedTopo(n), Policies: fixedPPolicies(n, p), Seed: 3, RTSCTS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, rr := basic.Run(10*sim.Second), rts.Run(10*sim.Second)
+	if rr.Throughput >= rb.Throughput {
+		t.Errorf("RTS/CTS %.2f Mbps should cost throughput vs basic %.2f Mbps when no hidden nodes exist",
+			rr.ThroughputMbps(), rb.ThroughputMbps())
+	}
+	// But not absurdly: the data payload still dominates the exchange.
+	if rr.Throughput < 0.5*rb.Throughput {
+		t.Errorf("RTS/CTS overhead implausibly large: %.2f vs %.2f Mbps",
+			rr.ThroughputMbps(), rb.ThroughputMbps())
+	}
+}
+
+func TestRTSCTSTraceContainsControlFrames(t *testing.T) {
+	tr := &typeCountTracer{}
+	s, err := New(Config{
+		Topology: connectedTopo(4),
+		Policies: fixedPPolicies(4, 0.05),
+		Seed:     5,
+		RTSCTS:   true,
+		Trace:    tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(3 * sim.Second)
+	if tr.decodeErrors > 0 {
+		t.Fatalf("%d undecodable trace frames", tr.decodeErrors)
+	}
+	if tr.rts == 0 || tr.cts == 0 {
+		t.Fatalf("trace rts=%d cts=%d; RTS/CTS frames missing", tr.rts, tr.cts)
+	}
+	// Every CTS answers an uncollided RTS, and every success needed one
+	// CTS.
+	if int64(tr.cts) < res.Successes {
+		t.Errorf("cts=%d < successes=%d", tr.cts, res.Successes)
+	}
+	if tr.rts < tr.cts {
+		t.Errorf("rts=%d < cts=%d", tr.rts, tr.cts)
+	}
+	// NAV duration field must cover SIFS+data+SIFS+ACK in µs.
+	wantNav := uint16((s.cfg.PHY.SIFS + s.cfg.PHY.DataTxTime() + s.cfg.PHY.SIFS + s.cfg.PHY.ACKTxTime()) / sim.Microsecond)
+	if tr.lastNav != wantNav {
+		t.Errorf("NAV duration %d µs, want %d", tr.lastNav, wantNav)
+	}
+}
+
+type typeCountTracer struct {
+	rts, cts, data, acks int
+	decodeErrors         int
+	lastNav              uint16
+}
+
+func (tr *typeCountTracer) Frame(_ sim.Time, wire []byte, _ bool) {
+	l, err := frame.Decode(wire)
+	if err != nil {
+		tr.decodeErrors++
+		return
+	}
+	switch f := l.(type) {
+	case *frame.RTS:
+		tr.rts++
+		tr.lastNav = f.Duration
+	case *frame.CTS:
+		tr.cts++
+		tr.lastNav = f.Duration
+	case *frame.Data:
+		tr.data++
+	case *frame.ACK:
+		tr.acks++
+	}
+}
+
+func TestFrameErrorRate(t *testing.T) {
+	// With i.i.d. loss e and no collisions (single station), goodput
+	// scales ≈ (1-e) modulo the cheaper failed slots.
+	run := func(e float64) *Result {
+		s, err := New(Config{
+			Topology:       connectedTopo(1),
+			Policies:       fixedPPolicies(1, 0.5),
+			Seed:           7,
+			FrameErrorRate: e,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run(10 * sim.Second)
+	}
+	clean := run(0)
+	lossy := run(0.3)
+	if lossy.FrameErrors == 0 {
+		t.Fatal("no frame errors recorded at e=0.3")
+	}
+	if clean.FrameErrors != 0 {
+		t.Fatal("frame errors at e=0")
+	}
+	frac := float64(lossy.FrameErrors) / float64(lossy.FrameErrors+lossy.Successes)
+	if math.Abs(frac-0.3) > 0.03 {
+		t.Errorf("error fraction %.3f, want ≈ 0.3", frac)
+	}
+	if lossy.Throughput >= clean.Throughput {
+		t.Error("loss did not reduce throughput")
+	}
+	if lossy.Throughput < 0.55*clean.Throughput {
+		t.Errorf("throughput dropped too much: %.2f vs %.2f Mbps",
+			lossy.ThroughputMbps(), clean.ThroughputMbps())
+	}
+}
+
+func TestFrameErrorRateValidation(t *testing.T) {
+	_, err := New(Config{
+		Topology:       connectedTopo(1),
+		Policies:       fixedPPolicies(1, 0.5),
+		FrameErrorRate: 1.0,
+	})
+	if err == nil {
+		t.Error("FrameErrorRate = 1 accepted")
+	}
+	_, err = New(Config{
+		Topology:       connectedTopo(1),
+		Policies:       fixedPPolicies(1, 0.5),
+		FrameErrorRate: -0.1,
+	})
+	if err == nil {
+		t.Error("negative FrameErrorRate accepted")
+	}
+}
+
+func TestWTOPConvergesUnderChannelErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop convergence run")
+	}
+	// Footnote 1's claim, verified end to end: the controller maximises
+	// goodput directly, so i.i.d. loss shifts the achieved level but not
+	// the convergence behaviour.
+	n := 15
+	s, _ := wtopSimWithErrors(t, n, 0.2, 71)
+	res := s.Run(90 * sim.Second)
+	conv := res.ConvergedThroughput(45 * sim.Second)
+	if conv < 12e6 {
+		t.Errorf("converged %.2f Mbps under 20%% loss; expected a working loop ≥ 12 Mbps", conv/1e6)
+	}
+}

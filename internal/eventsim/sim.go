@@ -1,0 +1,707 @@
+package eventsim
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/mac"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// txKind distinguishes the frame classes stations put on the air.
+type txKind uint8
+
+const (
+	kindData txKind = iota
+	kindRTS
+)
+
+// transmission is one station frame in the air (data or RTS).
+type transmission struct {
+	st       *station
+	kind     txKind
+	start    sim.Time
+	end      sim.Time
+	collided bool
+	// reserved marks a data frame sent inside an RTS/CTS reservation.
+	reserved bool
+}
+
+// Simulator is a single WLAN run: N stations, one AP, one channel.
+// Create with New, drive with Run; a Simulator is single-use per Run
+// sequence and not safe for concurrent use (run parallel instances for
+// parallel experiments).
+type Simulator struct {
+	cfg   Config
+	sched *sim.Scheduler
+
+	stations []*station
+	// sensedBy[i] lists the stations that perform carrier sense on
+	// station i's transmissions.
+	sensedBy [][]int
+
+	// Air state at the AP.
+	active     []*transmission // data frames currently in the air
+	apTx       bool            // AP is transmitting (ACK or beacon)
+	apBusy     int             // transmissions audible at the AP (incl. its own)
+	ackPending bool            // an ACK is scheduled (SIFS gap in progress)
+
+	apIdle      *stats.IdleSlotTracker
+	windowMeter *stats.ThroughputMeter
+	totalBits   int64
+	rootRNG     *sim.RNG
+	frameErrors int64
+
+	control    frame.Control
+	beaconSeq  uint16
+	beaconDue  bool
+	beaconWait *sim.Event // pending PIFS countdown to a beacon
+
+	throughputSeries stats.TimeSeries
+	controlSeries    stats.TimeSeries
+	activeSeries     stats.TimeSeries
+
+	successes  int64
+	collisions int64
+
+	// maxConcurrent tracks the peak number of simultaneous data frames,
+	// a cheap invariant probe (must stay ≥ 2 only when hidden pairs or
+	// slot-synchronised collisions occur).
+	maxConcurrent int
+}
+
+// New validates cfg and assembles a simulator.
+func New(cfg Config) (*Simulator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:         cfg,
+		sched:       sim.NewScheduler(),
+		apIdle:      stats.NewIdleSlotTracker(cfg.PHY.Slot, cfg.PHY.DIFS),
+		windowMeter: stats.NewThroughputMeter(0),
+	}
+	s.throughputSeries.Name = "throughput"
+	s.controlSeries.Name = "control"
+	s.activeSeries.Name = "active"
+	if cfg.Controller != nil {
+		s.control = cfg.Controller.Control()
+	}
+	root := sim.NewRNG(cfg.Seed)
+	s.rootRNG = root
+	n := cfg.Topology.N()
+	s.stations = make([]*station, n)
+	s.sensedBy = make([][]int, n)
+	for i := 0; i < n; i++ {
+		st := &station{
+			id:            i,
+			policy:        cfg.Policies[i],
+			rng:           root.Split(int64(i)),
+			state:         stateInactive,
+			senseIdleOpen: true,
+		}
+		s.stations[i] = st
+		s.sensedBy[i] = cfg.Topology.SensedBy(i)
+	}
+	s.apIdle.MediumIdle(0)
+	for i := 0; i < cfg.InitialActive; i++ {
+		s.activateNow(s.stations[i])
+	}
+	return s, nil
+}
+
+// Scheduler exposes the event clock, mainly for tests and custom
+// scenario scripting.
+func (s *Simulator) Scheduler() *sim.Scheduler { return s.sched }
+
+// ActiveStations returns how many stations currently contend.
+func (s *Simulator) ActiveStations() int {
+	count := 0
+	for _, st := range s.stations {
+		if st.state != stateInactive || st.deferredStop {
+			count++
+		}
+	}
+	return count
+}
+
+// SetActiveAt schedules the set of active stations to become exactly the
+// first n stations at simulated time t. Must be called before Run reaches
+// t. This drives the dynamic-arrival scenarios of Figs. 8–11.
+func (s *Simulator) SetActiveAt(t sim.Time, n int) error {
+	if n < 0 || n > len(s.stations) {
+		return fmt.Errorf("eventsim: SetActiveAt(%v, %d): count outside [0, %d]", t, n, len(s.stations))
+	}
+	s.sched.At(t, func() {
+		for i, st := range s.stations {
+			switch {
+			case i < n:
+				s.activateNow(st)
+			default:
+				s.deactivateNow(st)
+			}
+		}
+	})
+	return nil
+}
+
+func (s *Simulator) activateNow(st *station) {
+	st.deferredStop = false
+	if st.state != stateInactive {
+		return
+	}
+	st.state = stateContending
+	// A newly active station has no countdown anchor yet; start a fresh
+	// idle view of the medium from "now".
+	if st.busyCount == 0 {
+		st.idleSince = s.sched.Now()
+		st.senseIdleOpen = true
+		st.senseIdleStart = s.sched.Now()
+	}
+	s.startContention(st)
+}
+
+func (s *Simulator) deactivateNow(st *station) {
+	switch st.state {
+	case stateInactive:
+	case stateContending:
+		if st.txStart != nil {
+			st.txStart.Cancel()
+			st.txStart = nil
+		}
+		st.state = stateInactive
+	default:
+		// Mid-transmission or awaiting ACK: finish the exchange first.
+		st.deferredStop = true
+	}
+}
+
+// startContention draws a fresh backoff and arms the countdown.
+func (s *Simulator) startContention(st *station) {
+	st.state = stateContending
+	st.remaining = st.policy.NextBackoff(st.rng)
+	s.armCountdown(st)
+}
+
+// armCountdown schedules the transmission-start event if the medium is
+// currently idle for st; otherwise the countdown stays frozen until
+// onBusyEnd re-arms it.
+func (s *Simulator) armCountdown(st *station) {
+	if st.busyCount > 0 || st.state != stateContending {
+		return
+	}
+	now := s.sched.Now()
+	base := st.idleSince.Add(s.cfg.PHY.DIFS)
+	if base.Before(now) {
+		// The station joined an already-idle medium; anchor at now.
+		base = now
+	}
+	at := base.Add(sim.Duration(st.remaining) * s.cfg.PHY.Slot)
+	st.runStart = base
+	st.txStart = s.sched.At(at, func() { s.txBegin(st) })
+}
+
+// onBusyStart informs st that a transmission it senses has started.
+func (s *Simulator) onBusyStart(st *station) {
+	st.busyCount++
+	if st.busyCount != 1 {
+		return
+	}
+	now := s.sched.Now()
+	// Close the observed idle gap (IdleSense input).
+	if st.senseIdleOpen {
+		if st.state != stateInactive {
+			s.observeIdleGap(st, now)
+		}
+		st.senseIdleOpen = false
+	}
+	if st.state != stateContending || st.txStart == nil {
+		return
+	}
+	if st.txStart.At() == now {
+		// The station's own attempt is due at this very instant: it is
+		// committed (carrier sense cannot act within the same slot
+		// boundary), so the events collide — exactly the synchronised
+		// slot-boundary collision of CSMA.
+		return
+	}
+	// Freeze: bank the fully elapsed slots and cancel the attempt.
+	elapsed := 0
+	if now.After(st.runStart) {
+		elapsed = int(now.Sub(st.runStart) / s.cfg.PHY.Slot)
+	}
+	if elapsed > st.remaining {
+		elapsed = st.remaining
+	}
+	st.remaining -= elapsed
+	st.txStart.Cancel()
+	st.txStart = nil
+}
+
+// observeIdleGap feeds a medium-observing policy (IdleSense) the idle gap
+// that just closed, using the 802.11 convention: gaps shorter than DIFS
+// belong to the ongoing frame exchange, and only time beyond the
+// mandatory DIFS counts as idle slots.
+func (s *Simulator) observeIdleGap(st *station, now sim.Time) {
+	obs, ok := st.policy.(mac.MediumObserver)
+	if !ok {
+		return
+	}
+	gap := now.Sub(st.senseIdleStart)
+	if gap < s.cfg.PHY.DIFS {
+		return
+	}
+	obs.ObserveTransmission(float64(gap-s.cfg.PHY.DIFS) / float64(s.cfg.PHY.Slot))
+}
+
+// onBusyEnd informs st that a transmission it senses has ended.
+func (s *Simulator) onBusyEnd(st *station) {
+	st.busyCount--
+	if st.busyCount < 0 {
+		panic("eventsim: negative busy count")
+	}
+	if st.busyCount != 0 {
+		return
+	}
+	now := s.sched.Now()
+	st.idleSince = now
+	st.senseIdleOpen = true
+	st.senseIdleStart = now
+	if st.state == stateContending && st.txStart == nil {
+		// p-persistent backoff has no memory across busy periods: the
+		// first slot after the resumption is an ordinary Bernoulli(p)
+		// slot, so redraw instead of resuming the frozen residual
+		// (which is conditioned ≥ 1 and would bias the idle-slot
+		// distribution away from Eq. (2)'s i.i.d. slots).
+		if m, ok := st.policy.(mac.Memoryless); ok && m.BackoffMemoryless() {
+			st.remaining = st.policy.NextBackoff(st.rng)
+		}
+		s.armCountdown(st)
+	}
+}
+
+// txBegin puts st's data frame on the air.
+func (s *Simulator) txBegin(st *station) {
+	st.txStart = nil
+	if st.state != stateContending {
+		return
+	}
+	now := s.sched.Now()
+	st.state = stateTransmitting
+	// The transmitter observes its own frame as a busy period for the
+	// purposes of idle-gap measurement.
+	if st.senseIdleOpen {
+		s.observeIdleGap(st, now)
+		st.senseIdleOpen = false
+	}
+
+	kind := kindData
+	airtime := s.cfg.PHY.DataTxTime()
+	if s.cfg.RTSCTS {
+		kind = kindRTS
+		airtime = s.cfg.PHY.RTSTxTime()
+	}
+	s.launch(&transmission{st: st, kind: kind, start: now, end: now.Add(airtime)})
+}
+
+// launch puts a station frame on the air, applying the paper's collision
+// rule: any temporal overlap of two station frames destroys both, and a
+// frame overlapping an AP transmission is lost (the AP cannot receive
+// while sending).
+func (s *Simulator) launch(rec *transmission) {
+	now := s.sched.Now()
+	if s.apTx {
+		rec.collided = true
+	}
+	for _, other := range s.active {
+		other.collided = true
+		rec.collided = true
+	}
+	s.active = append(s.active, rec)
+	if len(s.active) > s.maxConcurrent {
+		s.maxConcurrent = len(s.active)
+	}
+	s.apBusyStart(now)
+	for _, j := range s.sensedBy[rec.st.id] {
+		s.onBusyStart(s.stations[j])
+	}
+	s.sched.At(rec.end, func() { s.txComplete(rec) })
+}
+
+// txComplete removes the frame from the air and routes to the ACK or
+// failure path.
+func (s *Simulator) txComplete(rec *transmission) {
+	st := rec.st
+	now := s.sched.Now()
+	for i, r := range s.active {
+		if r == rec {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	s.apBusyEnd(now)
+	for _, j := range s.sensedBy[st.id] {
+		s.onBusyEnd(s.stations[j])
+	}
+	st.state = stateAwaiting
+	// From the transmitter's own perspective the medium state resumes
+	// from the end of its frame.
+	if st.busyCount == 0 {
+		st.idleSince = now
+		st.senseIdleOpen = true
+		st.senseIdleStart = now
+	}
+	if rec.kind == kindRTS {
+		if s.cfg.Trace != nil {
+			wire := frame.Marshal(&frame.RTS{
+				Source:   frame.Address(st.id),
+				Duration: uint16(s.navDuration() / sim.Microsecond),
+			})
+			s.cfg.Trace.Frame(now, wire, rec.collided)
+		}
+		if rec.collided {
+			s.collisions++
+			s.sched.After(s.cfg.PHY.ACKTimeout(), func() { s.failTimeout(st) })
+			return
+		}
+		s.sched.After(s.cfg.PHY.SIFS, func() { s.ctsBegin(st) })
+		return
+	}
+	if s.cfg.Trace != nil {
+		wire := frame.Marshal(&frame.Data{
+			Source:      frame.Address(st.id),
+			Destination: frame.AddressAP,
+			Sequence:    st.seq,
+			Retry:       st.retries,
+			Bits:        s.cfg.PHY.Payload,
+		})
+		s.cfg.Trace.Frame(now, wire, rec.collided)
+	}
+	if rec.collided {
+		s.collisions++
+		s.sched.After(s.cfg.PHY.ACKTimeout(), func() { s.failTimeout(st) })
+		return
+	}
+	// Footnote 1: i.i.d. channel errors on data frames. The frame is
+	// simply never acknowledged; the transmitter cannot distinguish the
+	// loss from a collision and takes the same failure path.
+	if s.cfg.FrameErrorRate > 0 && s.rootRNG.Bernoulli(s.cfg.FrameErrorRate) {
+		s.frameErrors++
+		s.sched.After(s.cfg.PHY.ACKTimeout(), func() { s.failTimeout(st) })
+		return
+	}
+	s.ackPending = true
+	s.sched.After(s.cfg.PHY.SIFS, func() { s.ackBegin(st) })
+}
+
+// navDuration is the medium reservation a CTS announces: the remainder of
+// the exchange after the CTS ends (SIFS + data + SIFS + ACK).
+func (s *Simulator) navDuration() sim.Duration {
+	return s.cfg.PHY.SIFS + s.cfg.PHY.DataTxTime() + s.cfg.PHY.SIFS + s.cfg.PHY.ACKTxTime()
+}
+
+// ctsBegin starts the AP's clear-to-send answer to an uncollided RTS.
+func (s *Simulator) ctsBegin(target *station) {
+	now := s.sched.Now()
+	if s.apTx {
+		panic("eventsim: overlapping AP transmissions")
+	}
+	s.apTx = true
+	for _, r := range s.active {
+		r.collided = true // a frame overlapping the CTS is lost at the AP
+	}
+	s.apBusyStart(now)
+	for _, st := range s.stations {
+		s.onBusyStart(st)
+	}
+	s.sched.After(s.cfg.PHY.CTSTxTime(), func() { s.ctsEnd(target) })
+}
+
+// ctsEnd completes the CTS: every station that could decode it arms its
+// NAV for the rest of the exchange, and the reservation owner proceeds to
+// its data frame after SIFS.
+func (s *Simulator) ctsEnd(target *station) {
+	now := s.sched.Now()
+	s.apTx = false
+	s.apBusyEnd(now)
+	for _, st := range s.stations {
+		s.onBusyEnd(st)
+	}
+	if s.cfg.Trace != nil {
+		wire := frame.Marshal(&frame.CTS{
+			Receiver: frame.Address(target.id),
+			Duration: uint16(s.navDuration() / sim.Microsecond),
+		})
+		s.cfg.Trace.Frame(now, wire, false)
+	}
+	// Arm the NAV. A station that is itself mid-transmission cannot have
+	// decoded the CTS (half duplex) and keeps contending blindly — the
+	// residual collision channel RTS/CTS cannot close.
+	var navved []*station
+	for _, st := range s.stations {
+		if st == target || st.state == stateTransmitting {
+			continue
+		}
+		s.onBusyStart(st)
+		navved = append(navved, st)
+	}
+	s.sched.After(s.navDuration(), func() {
+		for _, st := range navved {
+			s.onBusyEnd(st)
+		}
+	})
+	s.sched.After(s.cfg.PHY.SIFS, func() { s.reservedData(target) })
+}
+
+// reservedData transmits the data frame inside an RTS/CTS reservation.
+func (s *Simulator) reservedData(st *station) {
+	if st.state != stateAwaiting {
+		return
+	}
+	now := s.sched.Now()
+	st.state = stateTransmitting
+	s.launch(&transmission{
+		st:       st,
+		kind:     kindData,
+		reserved: true,
+		start:    now,
+		end:      now.Add(s.cfg.PHY.DataTxTime()),
+	})
+}
+
+// ackBegin starts the AP's acknowledgement.
+func (s *Simulator) ackBegin(target *station) {
+	now := s.sched.Now()
+	if s.apTx {
+		panic("eventsim: overlapping AP transmissions")
+	}
+	s.ackPending = false
+	s.apTx = true
+	// Any data frame still in the air overlaps the ACK and is lost.
+	for _, r := range s.active {
+		r.collided = true
+	}
+	s.apBusyStart(now)
+	for _, st := range s.stations {
+		s.onBusyStart(st)
+	}
+	s.sched.After(s.cfg.PHY.ACKTxTime(), func() { s.ackEnd(target) })
+}
+
+// ackEnd completes a successful exchange: deliver the ACK (with the
+// control broadcast) and restart contention at the transmitter.
+func (s *Simulator) ackEnd(target *station) {
+	now := s.sched.Now()
+	s.apTx = false
+	s.apBusyEnd(now)
+	for _, st := range s.stations {
+		s.onBusyEnd(st)
+	}
+
+	payload := s.cfg.PHY.Payload
+	s.windowMeter.Account(payload)
+	s.totalBits += int64(payload)
+	target.bitsDelivered += int64(payload)
+	target.successes++
+	s.successes++
+
+	if s.cfg.Trace != nil {
+		wire := frame.Marshal(&frame.ACK{
+			Receiver: frame.Address(target.id),
+			Sequence: target.seq,
+			Control:  s.control,
+		})
+		s.cfg.Trace.Frame(now, wire, false)
+	}
+
+	target.policy.OnSuccess(target.rng)
+	// All stations hear AP transmissions (system model), so the control
+	// broadcast reaches everyone, as wTOP-CSMA requires.
+	s.broadcastControl()
+
+	target.seq++
+	target.retries = 0
+	if target.deferredStop {
+		target.deferredStop = false
+		target.state = stateInactive
+		return
+	}
+	s.startContention(target)
+}
+
+// failTimeout fires when the transmitter concludes its frame was lost.
+func (s *Simulator) failTimeout(st *station) {
+	st.failures++
+	st.retries++
+	st.policy.OnFailure(st.rng)
+	if st.deferredStop {
+		st.deferredStop = false
+		st.state = stateInactive
+		return
+	}
+	s.startContention(st)
+}
+
+// broadcastControl delivers the AP's current control block to every
+// active station.
+func (s *Simulator) broadcastControl() {
+	if s.cfg.Controller == nil {
+		return
+	}
+	for _, st := range s.stations {
+		if st.state != stateInactive {
+			st.policy.OnControl(s.control)
+		}
+	}
+}
+
+// apBusyStart/apBusyEnd maintain the AP-side medium view used for the
+// idle-slot statistic of Table III.
+func (s *Simulator) apBusyStart(now sim.Time) {
+	s.apBusy++
+	if s.apBusy == 1 {
+		s.apIdle.MediumBusy(now)
+		if s.beaconWait != nil {
+			s.beaconWait.Cancel()
+			s.beaconWait = nil
+		}
+	}
+}
+
+func (s *Simulator) apBusyEnd(now sim.Time) {
+	s.apBusy--
+	if s.apBusy < 0 {
+		panic("eventsim: negative AP busy count")
+	}
+	if s.apBusy == 0 {
+		s.apIdle.MediumIdle(now)
+		s.tryBeacon()
+	}
+}
+
+// controllerWindow closes one UPDATE_PERIOD measurement window.
+func (s *Simulator) controllerWindow() {
+	now := s.sched.Now()
+	rate := s.windowMeter.Rate(now)
+	s.throughputSeries.Append(now, rate)
+	s.activeSeries.Append(now, float64(s.ActiveStations()))
+	if s.cfg.Controller != nil {
+		s.cfg.Controller.OnWindowEnd(rate)
+		s.control = s.cfg.Controller.Control()
+		s.controlSeries.Append(now, s.controlValue())
+	}
+	s.windowMeter.ResetWindow(now)
+	s.sched.After(s.cfg.UpdatePeriod, s.controllerWindow)
+}
+
+// controlValue extracts the tuned variable for the convergence series:
+// p for wTOP-CSMA, p0 for TORA-CSMA.
+func (s *Simulator) controlValue() float64 {
+	switch s.control.Scheme {
+	case frame.ControlWTOP:
+		return s.control.P
+	case frame.ControlTORA:
+		return s.control.P0
+	default:
+		return 0
+	}
+}
+
+// beaconTick marks a beacon due and reschedules the timer. The beacon is
+// actually sent by tryBeacon once the medium allows.
+func (s *Simulator) beaconTick() {
+	s.beaconDue = true
+	s.tryBeacon()
+	s.sched.After(s.cfg.BeaconInterval, s.beaconTick)
+}
+
+// tryBeacon arms a PIFS countdown towards a beacon transmission when one
+// is due and the medium is free at the AP. PIFS < DIFS gives the AP
+// priority over every station's backoff — real 802.11 beacon behaviour —
+// so control information keeps flowing even during collision collapse,
+// when no ACKs exist to carry it.
+func (s *Simulator) tryBeacon() {
+	if !s.beaconDue || s.beaconWait != nil || s.apTx || s.ackPending || s.apBusy > 0 {
+		return
+	}
+	s.beaconWait = s.sched.After(s.cfg.PHY.PIFS(), s.beaconTx)
+}
+
+// beaconTx puts the beacon on the air.
+func (s *Simulator) beaconTx() {
+	s.beaconWait = nil
+	s.beaconDue = false
+	now := s.sched.Now()
+	s.apTx = true
+	// Any data frame overlapping the beacon is lost (AP transmitting);
+	// none can be active here because the PIFS countdown is cancelled on
+	// any busy start, but a station may still start at the same instant
+	// later in the event queue — txBegin handles that via the apTx check.
+	s.apBusyStart(now)
+	for _, st := range s.stations {
+		s.onBusyStart(st)
+	}
+	s.beaconSeq++
+	seq := s.beaconSeq
+	s.sched.After(s.cfg.PHY.ACKTxTime(), func() {
+		s.apTx = false
+		s.apBusyEnd(s.sched.Now())
+		for _, st := range s.stations {
+			s.onBusyEnd(st)
+		}
+		if s.cfg.Trace != nil {
+			wire := frame.Marshal(&frame.Beacon{Sequence: seq, Control: s.control})
+			s.cfg.Trace.Frame(s.sched.Now(), wire, false)
+		}
+		s.broadcastControl()
+	})
+}
+
+// Run advances the simulation to the given duration of simulated time
+// and returns the accumulated results. Run may be called repeatedly with
+// increasing durations to sample intermediate results.
+func (s *Simulator) Run(duration sim.Duration) *Result {
+	end := sim.Time(duration)
+	if s.sched.Fired() == 0 {
+		s.sched.After(s.cfg.UpdatePeriod, s.controllerWindow)
+		if s.cfg.BeaconInterval > 0 {
+			s.sched.After(s.cfg.BeaconInterval, s.beaconTick)
+		}
+	}
+	s.sched.RunUntil(end)
+	return s.result()
+}
+
+func (s *Simulator) result() *Result {
+	now := s.sched.Now()
+	res := &Result{
+		Duration:         now.Sub(0),
+		Throughput:       float64(s.totalBits) / now.Seconds(),
+		Successes:        s.successes,
+		Collisions:       s.collisions,
+		FrameErrors:      s.frameErrors,
+		APIdleSlots:      s.apIdle.Average(),
+		MaxConcurrent:    s.maxConcurrent,
+		ThroughputSeries: s.throughputSeries,
+		ControlSeries:    s.controlSeries,
+		ActiveSeries:     s.activeSeries,
+		EventsFired:      s.sched.Fired(),
+	}
+	res.Stations = make([]StationStats, len(s.stations))
+	for i, st := range s.stations {
+		weight := 1.0
+		if pp, ok := st.policy.(*mac.PPersistent); ok {
+			weight = pp.Weight
+		}
+		res.Stations[i] = StationStats{
+			Successes:     st.successes,
+			Failures:      st.failures,
+			BitsDelivered: st.bitsDelivered,
+			Throughput:    float64(st.bitsDelivered) / now.Seconds(),
+			Weight:        weight,
+		}
+	}
+	return res
+}

@@ -1,0 +1,85 @@
+package eventsim
+
+import (
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+// stationState is the MAC state of one station.
+type stationState uint8
+
+const (
+	// stateContending: the station is serving its backoff (possibly
+	// frozen behind a sensed transmission).
+	stateContending stationState = iota
+	// stateTransmitting: the station's data frame is in the air.
+	stateTransmitting
+	// stateAwaiting: data sent, waiting for the ACK or the timeout.
+	stateAwaiting
+	// stateInactive: the station is not participating.
+	stateInactive
+)
+
+// station is the per-node simulation state. All mutation happens inside
+// scheduler events, so no locking is needed.
+type station struct {
+	id     int
+	policy mac.Policy
+	rng    *sim.RNG
+	state  stationState
+
+	// busyCount is the number of in-air transmissions this station
+	// senses (neighbouring stations' data frames plus AP frames). The
+	// medium is idle for this station iff busyCount == 0.
+	busyCount int
+	// idleSince is when busyCount last dropped to zero (valid while
+	// busyCount == 0).
+	idleSince sim.Time
+
+	// remaining is the number of backoff slots still to serve.
+	remaining int
+	// runStart anchors the current countdown: the station transmits at
+	// runStart + remaining·σ unless the medium goes busy first. Valid
+	// while txStart != nil.
+	runStart sim.Time
+	// txStart is the pending transmission-start event.
+	txStart *sim.Event
+
+	// senseIdleOpen/senseIdleStart track the idle gap this station
+	// observes between sensed transmissions (IdleSense's input).
+	senseIdleOpen  bool
+	senseIdleStart sim.Time
+
+	seq     uint16
+	retries uint8
+
+	// Statistics.
+	successes, failures int64
+	bitsDelivered       int64
+
+	// deferredStop requests deactivation at the end of the current
+	// transmission attempt.
+	deferredStop bool
+}
+
+// StationStats is the per-station slice of a Result.
+type StationStats struct {
+	// Successes and Failures count transmission attempts by outcome.
+	Successes, Failures int64
+	// BitsDelivered is the payload successfully delivered to the AP.
+	BitsDelivered int64
+	// Throughput is BitsDelivered over the measured interval, bits/s.
+	Throughput float64
+	// Weight echoes the station's fairness weight when its policy is
+	// weighted p-persistent CSMA, else 1.
+	Weight float64
+}
+
+// attemptProbability reports the policy's current attempt probability if
+// it exposes one, else 0.
+func (s *station) attemptProbability() float64 {
+	if r, ok := s.policy.(mac.AttemptReporter); ok {
+		return r.AttemptProbability()
+	}
+	return 0
+}

@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/eventsim"
+	"repro/internal/mac"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// churnSchedule is the node-arrival/departure script of Figs. 8–11: the
+// active-station count steps through phases of equal length.
+var churnPhases = []int{10, 30, 60, 20, 40}
+
+// runChurn executes a dynamic-N scenario for the given scheme on a
+// connected or hidden topology and returns the simulation result. The
+// total run is len(churnPhases) phases of o.Duration each.
+func runChurn(o Options, scheme Scheme, kind Topo, seed int64) (*eventsim.Result, error) {
+	maxN := 0
+	for _, n := range churnPhases {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	phy := model.PaperPHY()
+	back := model.PaperBackoff()
+	tp := buildTopology(kind, maxN, seed)
+	policies := make([]mac.Policy, maxN)
+	var controller core.Controller
+	switch scheme {
+	case SchemeWTOP:
+		for i := range policies {
+			policies[i] = mac.NewPPersistent(1, 0.1)
+		}
+		controller = core.NewWTOP(core.WTOPConfig{Scale: phy.BitRate})
+	case SchemeTORA:
+		for i := range policies {
+			policies[i] = mac.NewRandomReset(back.CWMin, back.M, 0, 1)
+		}
+		controller = core.NewTORA(core.TORAConfig{M: back.M, Scale: phy.BitRate})
+	default:
+		return nil, fmt.Errorf("experiment: churn scenario supports wTOP/TORA, not %q", scheme)
+	}
+	s, err := eventsim.New(eventsim.Config{
+		PHY:           phy,
+		Topology:      tp,
+		Policies:      policies,
+		Controller:    controller,
+		Seed:          seed,
+		InitialActive: churnPhases[0],
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range churnPhases[1:] {
+		at := sim.Time(o.Duration) * sim.Time(i+1)
+		if err := s.SetActiveAt(at, n); err != nil {
+			return nil, err
+		}
+	}
+	total := o.Duration * sim.Duration(len(churnPhases))
+	return s.Run(total), nil
+}
+
+// churnTable renders the throughput/control/active time series of a
+// churn run — one table covering both of the paper's paired figures
+// (throughput vs. time and control variable vs. time).
+func churnTable(o Options, id, title string, scheme Scheme) (*Table, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	connected, err := runChurn(o, scheme, TopoConnected, 1)
+	if err != nil {
+		return nil, err
+	}
+	hidden, err := runChurn(o, scheme, TopoDisc16, 1)
+	if err != nil {
+		return nil, err
+	}
+	control := "p"
+	if scheme == SchemeTORA {
+		control = "p0"
+	}
+	t := &Table{
+		ID:    id,
+		Title: title,
+		Columns: []string{"time (s)", "active nodes",
+			"Mbps (no hidden)", control + " (no hidden)",
+			"Mbps (hidden)", control + " (hidden)"},
+	}
+	// The three series share window boundaries; sample every k-th point
+	// to keep the table readable.
+	nSamples := connected.ThroughputSeries.Len()
+	stride := nSamples / 50
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < nSamples; i += stride {
+		at := connected.ThroughputSeries.Times[i]
+		row := []string{
+			fmt.Sprintf("%.1f", at.Seconds()),
+			fmt.Sprintf("%.0f", connected.ActiveSeries.Values[i]),
+			fmt.Sprintf("%.3f", connected.ThroughputSeries.Values[i]/1e6),
+			controlAt(connected, i),
+			mbpsAt(hidden, i),
+			controlAt(hidden, i),
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("active-node schedule %v, one phase per %v", churnPhases, o.Duration))
+	return t, nil
+}
+
+func mbpsAt(r *eventsim.Result, i int) string {
+	if i >= r.ThroughputSeries.Len() {
+		return ""
+	}
+	return fmt.Sprintf("%.3f", r.ThroughputSeries.Values[i]/1e6)
+}
+
+func controlAt(r *eventsim.Result, i int) string {
+	if i >= r.ControlSeries.Len() {
+		return ""
+	}
+	return fmt.Sprintf("%.5f", r.ControlSeries.Values[i])
+}
+
+// Fig8and9 reproduces Figures 8 and 9: wTOP-CSMA throughput and control
+// variable over time as the station count steps.
+func Fig8and9(o Options) (*Table, error) {
+	return churnTable(o, "fig8",
+		"wTOP-CSMA under node churn: throughput (Fig. 8) and p (Fig. 9)",
+		SchemeWTOP)
+}
+
+// Fig10and11 reproduces Figures 10 and 11: the same scenario for
+// TORA-CSMA (throughput and p0).
+func Fig10and11(o Options) (*Table, error) {
+	return churnTable(o, "fig10",
+		"TORA-CSMA under node churn: throughput (Fig. 10) and p0 (Fig. 11)",
+		SchemeTORA)
+}
+
+// Fig12 reproduces Figure 12: the fixed-point geometry of the
+// RandomReset attempt probability — τ_c(0;p0) versus the collision
+// response c(τ) for N = 10, m = 5, CWmin = 2. Pure analysis; no
+// simulation.
+func Fig12(Options) (*Table, error) {
+	back := model.BackoffParams{CWMin: 2, M: 5}
+	rr := model.RandomReset{PHY: model.PaperPHY(), Backoff: back, N: 10}
+	t := &Table{
+		ID:    "fig12",
+		Title: "fixed-point curves τ_c(0;p0) and c = 1-(1-τ)^(N-1), N=10 m=5 CWmin=2",
+		Columns: []string{"c", "tau(p0=0.0)", "tau(p0=0.2)", "tau(p0=0.4)",
+			"tau(p0=0.6)", "tau(p0=0.8)", "tau from c (inverse)"},
+	}
+	for c := 0.0; c <= 1.0001; c += 0.05 {
+		row := []string{fmt.Sprintf("%.2f", c)}
+		for _, p0 := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
+			tau, err := rr.AttemptGivenCollisionJP(0, p0, c)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.5f", tau))
+		}
+		// The "collision response" curve plotted as τ such that
+		// c = 1-(1-τ)^(N-1), i.e. τ = 1-(1-c)^(1/(N-1)).
+		tau := 1 - pow(1-c, 1.0/9)
+		row = append(row, fmt.Sprintf("%.5f", tau))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"fixed points are the intersections of each τ_c column with the inverse-response column",
+		"monotone ordering in p0 is Lemma 5")
+	return t, nil
+}
+
+func pow(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, y)
+}

@@ -1,0 +1,218 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// tinyOptions keeps experiment tests fast: the goal here is correctness
+// of the harness (structure, plumbing, monotone sanity), not statistics.
+func tinyOptions() Options {
+	return Options{
+		Duration: 6 * sim.Second,
+		Warmup:   3 * sim.Second,
+		Seeds:    1,
+		Nodes:    []int{5, 15},
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{},
+		{Duration: sim.Second, Warmup: 2 * sim.Second, Seeds: 1, Nodes: []int{5}},
+		{Duration: sim.Second, Seeds: 0, Nodes: []int{5}},
+		{Duration: sim.Second, Seeds: 1},
+	}
+	for i, o := range bad {
+		if err := o.validate(); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, o)
+		}
+	}
+	if err := Quick().validate(); err != nil {
+		t.Errorf("Quick() invalid: %v", err)
+	}
+	if err := Paper().validate(); err != nil {
+		t.Errorf("Paper() invalid: %v", err)
+	}
+}
+
+func TestBuildTopologyFamilies(t *testing.T) {
+	conn := buildTopology(TopoConnected, 20, 1)
+	if !conn.FullyConnected() {
+		t.Error("connected family has hidden pairs")
+	}
+	for _, kind := range []Topo{TopoDisc16, TopoDisc20} {
+		tp := buildTopology(kind, 40, 1)
+		if err := tp.Validate(); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+	// disc20 projection should produce at least as many hidden pairs as
+	// disc16 on average (checked across seeds).
+	p16, p20 := 0, 0
+	for seed := int64(1); seed <= 10; seed++ {
+		p16 += len(buildTopology(TopoDisc16, 40, seed).HiddenPairs())
+		p20 += len(buildTopology(TopoDisc20, 40, seed).HiddenPairs())
+	}
+	if p20 <= p16 {
+		t.Errorf("disc20 hidden pairs (%d) not above disc16 (%d)", p20, p16)
+	}
+	if p16 == 0 {
+		t.Error("disc16 produced no hidden pairs across 10 seeds at N=40")
+	}
+}
+
+func TestBuildSimAllSchemes(t *testing.T) {
+	tp := buildTopology(TopoConnected, 4, 1)
+	for _, sch := range []Scheme{SchemeDCF, SchemeIdleSense, SchemeWTOP, SchemeTORA} {
+		s, err := buildSim(sch, tp, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", sch, err)
+		}
+		res := s.Run(time2s())
+		if res.Successes == 0 {
+			t.Errorf("%s: no successes in 2s", sch)
+		}
+	}
+	if _, err := buildSim(Scheme("bogus"), tp, 1); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func time2s() sim.Duration { return 2 * sim.Second }
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"note1"},
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "333") || !strings.Contains(s, "note1") {
+		t.Errorf("String output incomplete:\n%s", s)
+	}
+	tsv := tbl.TSV()
+	lines := strings.Split(strings.TrimSpace(tsv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("TSV has %d lines, want 3", len(lines))
+	}
+	if lines[0] != "a\tbb" {
+		t.Errorf("TSV header %q", lines[0])
+	}
+}
+
+func TestRegistryCoversAllIDs(t *testing.T) {
+	reg := Registry()
+	for _, id := range IDs() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("id %q missing from registry", id)
+		}
+	}
+	// fig9/fig11 alias their paired runners.
+	if _, ok := reg["fig9"]; !ok {
+		t.Error("fig9 alias missing")
+	}
+	if _, ok := reg["fig11"]; !ok {
+		t.Error("fig11 alias missing")
+	}
+}
+
+func TestFig12IsAnalyticAndOrdered(t *testing.T) {
+	tbl, err := Fig12(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 10 {
+		t.Fatalf("fig12 rows = %d", len(tbl.Rows))
+	}
+	// Lemma 5 visible in the table: τ increases along each row across
+	// the p0 columns (for c < 1).
+	for _, row := range tbl.Rows[:len(tbl.Rows)-1] {
+		prev := -1.0
+		for col := 1; col <= 5; col++ {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", row[col], err)
+			}
+			if v <= prev {
+				t.Fatalf("row %v: τ not increasing in p0", row)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestSweepStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	o := tinyOptions()
+	tbl, err := sweepTable(o, "t", "demo", TopoConnected, []Scheme{SchemeDCF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(o.Nodes) {
+		t.Fatalf("rows %d, want %d", len(tbl.Rows), len(o.Nodes))
+	}
+	if tbl.Columns[0] != "nodes" || tbl.Columns[1] != "802.11" {
+		t.Errorf("columns %v", tbl.Columns)
+	}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || v <= 0 || v > 60 {
+			t.Errorf("implausible throughput cell %q", row[1])
+		}
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	o := tinyOptions()
+	o.Duration = 20 * sim.Second
+	o.Warmup = 10 * sim.Second
+	tbl, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 11 { // 10 stations + total
+		t.Fatalf("rows = %d, want 11", len(tbl.Rows))
+	}
+	total, err := strconv.ParseFloat(tbl.Rows[10][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < 15 || total > 30 {
+		t.Errorf("total throughput %.2f Mbps implausible", total)
+	}
+}
+
+func TestChurnRunsAndTracksN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	o := tinyOptions()
+	res, err := runChurn(o, SchemeWTOP, TopoConnected, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The active-node series must step through the schedule values.
+	seen := map[int]bool{}
+	for _, v := range res.ActiveSeries.Values {
+		seen[int(v)] = true
+	}
+	for _, n := range churnPhases {
+		if !seen[n] {
+			t.Errorf("active series never showed %d stations", n)
+		}
+	}
+	if _, err := runChurn(o, SchemeDCF, TopoConnected, 1); err == nil {
+		t.Error("churn accepted a non-adaptive scheme")
+	}
+}

@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func parseCell(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestRTSCTSComparisonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	o := Options{Duration: 8 * sim.Second, Warmup: 4 * sim.Second, Seeds: 1, Nodes: []int{10, 30}}
+	tbl, err := RTSCTSComparison(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		basicConn := parseCell(t, row[1])
+		rtsConn := parseCell(t, row[2])
+		// Connected: RTS/CTS is pure overhead.
+		if rtsConn >= basicConn {
+			t.Errorf("nodes %s: RTS/CTS %v ≥ basic %v in connected network", row[0], rtsConn, basicConn)
+		}
+		// All cells plausible.
+		for _, cell := range row[1:] {
+			v := parseCell(t, cell)
+			if v <= 0 || v > 30 {
+				t.Errorf("implausible cell %v", v)
+			}
+		}
+	}
+}
+
+func TestBaselineLadderShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	o := Options{Duration: 8 * sim.Second, Warmup: 4 * sim.Second, Seeds: 1, Nodes: []int{10}}
+	tbl, err := BaselineLadder(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	byName := map[string]float64{}
+	for _, row := range tbl.Rows {
+		byName[row[0]] = parseCell(t, row[1])
+	}
+	// Ordering facts at N=30: DCF is the weakest; the fixed-optimal-p
+	// reference tops the ladder (within noise EstimateN may tie it).
+	if byName["802.11 DCF"] >= byName["optimal fixed p"] {
+		t.Errorf("DCF %v not below fixed-p* %v", byName["802.11 DCF"], byName["optimal fixed p"])
+	}
+	if byName["SlowDecrease"] <= byName["802.11 DCF"] {
+		t.Errorf("SlowDecrease %v not above DCF %v", byName["SlowDecrease"], byName["802.11 DCF"])
+	}
+}

@@ -1,0 +1,128 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// BackoffParams are the exponential-backoff constants shared by the DCF
+// and RandomReset models: CW ∈ {2^i·CWmin : i = 0..M}.
+type BackoffParams struct {
+	CWMin int
+	M     int // number of doubling stages; CWmax = 2^M · CWmin
+}
+
+// PaperBackoff returns Table I's CWmin = 8, CWmax = 1024, hence M = 7.
+func PaperBackoff() BackoffParams { return BackoffParams{CWMin: 8, M: 7} }
+
+// Validate reports the first invalid parameter.
+func (b BackoffParams) Validate() error {
+	if b.CWMin < 1 {
+		return fmt.Errorf("model: CWMin %d must be ≥ 1", b.CWMin)
+	}
+	if b.M < 0 {
+		return fmt.Errorf("model: M %d must be ≥ 0", b.M)
+	}
+	return nil
+}
+
+// CWMax returns 2^M · CWmin.
+func (b BackoffParams) CWMax() int { return b.CWMin << uint(b.M) }
+
+// CW returns the contention window of stage i, clamped to the valid range.
+func (b BackoffParams) CW(stage int) int {
+	if stage < 0 {
+		stage = 0
+	}
+	if stage > b.M {
+		stage = b.M
+	}
+	return b.CWMin << uint(stage)
+}
+
+// Kappa returns κ_i = 2/(2^i·CWmin), the per-slot attempt probability of a
+// station parked in backoff stage i under the paper's stage-wise
+// p-persistent approximation (Algorithm 2 transmits w.p. 2/CW each slot).
+func (b BackoffParams) Kappa(stage int) float64 {
+	return 2 / float64(b.CW(stage))
+}
+
+// DCF evaluates Bianchi's model of the standard 802.11 exponential
+// backoff: on failure the stage increments (capped at M), on success the
+// station returns to stage 0 with probability one.
+type DCF struct {
+	PHY     PHY
+	Backoff BackoffParams
+	N       int
+}
+
+// AttemptGivenCollision returns Bianchi's τ(c) for the standard DCF:
+//
+//	τ = 2(1−2c) / ((1−2c)(W+1) + c·W·(1−(2c)^M))
+//
+// where W = CWmin and c is the conditional collision probability.
+func (d DCF) AttemptGivenCollision(c float64) float64 {
+	w := float64(d.Backoff.CWMin)
+	m := float64(d.Backoff.M)
+	if c == 0.5 {
+		// Removable singularity: evaluate the limit numerically just off
+		// the point to keep the expression simple and exact enough.
+		c = 0.5 - 1e-12
+	}
+	num := 2 * (1 - 2*c)
+	den := (1-2*c)*(w+1) + c*w*(1-math.Pow(2*c, m))
+	return num / den
+}
+
+// FixedPoint solves the coupled system τ = τ(c), c = 1 − (1−τ)^(N−1) by
+// bisection on τ. The fixed point is unique (Bianchi 2000): τ(c) is
+// decreasing in c and c(τ) is increasing in τ.
+func (d DCF) FixedPoint() (tau, c float64) {
+	if d.N < 1 {
+		return 0, 0
+	}
+	if d.N == 1 {
+		return d.AttemptGivenCollision(0), 0
+	}
+	collision := func(tau float64) float64 {
+		return 1 - math.Pow(1-tau, float64(d.N-1))
+	}
+	// g(τ) = τ − τ(c(τ)) is increasing; find its root.
+	g := func(tau float64) float64 {
+		return tau - d.AttemptGivenCollision(collision(tau))
+	}
+	lo, hi := 1e-9, 1-1e-9
+	for i := 0; i < 200 && hi-lo > 1e-15; i++ {
+		mid := (lo + hi) / 2
+		if g(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	tau = (lo + hi) / 2
+	return tau, collision(tau)
+}
+
+// Throughput returns the saturation throughput in bits/second predicted by
+// the fixed point, using the same renewal denominator as Eq. (2) with a
+// homogeneous attempt probability.
+func (d DCF) Throughput() float64 {
+	tau, _ := d.FixedPoint()
+	return HomogeneousThroughput(d.PHY, d.N, tau)
+}
+
+// HomogeneousThroughput evaluates the renewal throughput expression for N
+// stations all attempting with probability tau per slot — the common
+// yardstick used to convert any fixed-point attempt probability into
+// bits/second.
+func HomogeneousThroughput(phy PHY, n int, tau float64) float64 {
+	if n <= 0 || tau <= 0 || tau >= 1 {
+		return 0
+	}
+	attempt := make([]float64, n)
+	for i := range attempt {
+		attempt[i] = tau
+	}
+	return PPersistent{PHY: phy}.SystemThroughputAt(attempt)
+}

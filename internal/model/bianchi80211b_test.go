@@ -1,0 +1,66 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// Cross-validation against Bianchi (JSAC 2000). His Table/figures report
+// normalised saturation throughput near 0.8–0.85 for basic access with
+// long (8184-bit) payloads at moderate N, and the maximum normalised
+// throughput as nearly independent of N.
+func TestBianchi80211bSaturationThroughput(t *testing.T) {
+	phy := PHY80211b()
+	if err := phy.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// W=32, m=5: the 802.11b FHSS-style configuration Bianchi plots.
+	for _, tc := range []struct {
+		n          int
+		wantLo, hi float64
+	}{
+		{5, 0.76, 0.88},
+		{10, 0.72, 0.86},
+		{20, 0.65, 0.84},
+		{50, 0.55, 0.80},
+	} {
+		d := DCF{PHY: phy, Backoff: BackoffParams{CWMin: 32, M: 5}, N: tc.n}
+		s := d.Throughput() / phy.BitRate
+		if s < tc.wantLo || s > tc.hi {
+			t.Errorf("N=%d: normalised DCF throughput %.4f outside [%v, %v]", tc.n, s, tc.wantLo, tc.hi)
+		}
+	}
+}
+
+func TestBianchi80211bOptimalNearlyFlat(t *testing.T) {
+	// Bianchi's key observation (which the paper builds on): the optimal
+	// normalised throughput barely depends on N.
+	phy := PHY80211b()
+	m := PPersistent{PHY: phy}
+	s5 := m.MaxThroughput(UnitWeights(5)) / phy.BitRate
+	s50 := m.MaxThroughput(UnitWeights(50)) / phy.BitRate
+	if s5 < 0.8 || s5 > 0.92 {
+		t.Errorf("optimal normalised throughput at N=5: %.4f", s5)
+	}
+	if math.Abs(s5-s50) > 0.03 {
+		t.Errorf("optimum varies too much with N: %.4f vs %.4f", s5, s50)
+	}
+}
+
+func TestBianchi80211bTauAgainstPublishedScale(t *testing.T) {
+	// With W=32, m=5, Bianchi's τ at N=10 is a few percent; the
+	// conditional collision probability rises with N.
+	d := DCF{PHY: PHY80211b(), Backoff: BackoffParams{CWMin: 32, M: 5}, N: 10}
+	tau, c := d.FixedPoint()
+	if tau < 0.02 || tau > 0.06 {
+		t.Errorf("τ(N=10) = %.4f, expected a few percent", tau)
+	}
+	if c < 0.2 || c > 0.5 {
+		t.Errorf("c(N=10) = %.4f, expected 0.2–0.5", c)
+	}
+	d50 := DCF{PHY: PHY80211b(), Backoff: BackoffParams{CWMin: 32, M: 5}, N: 50}
+	_, c50 := d50.FixedPoint()
+	if c50 <= c {
+		t.Error("conditional collision probability must rise with N")
+	}
+}

@@ -1,0 +1,186 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Weights is the per-station weight vector W of the weighted-fairness
+// formulation. Unit weights reduce the problem to plain throughput
+// maximisation.
+type Weights []float64
+
+// UnitWeights returns a weight vector of n ones.
+func UnitWeights(n int) Weights {
+	w := make(Weights, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Validate reports an error if any weight is non-positive.
+func (w Weights) Validate() error {
+	if len(w) == 0 {
+		return fmt.Errorf("model: empty weight vector")
+	}
+	for i, v := range w {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("model: weight[%d] = %v must be positive and finite", i, v)
+		}
+	}
+	return nil
+}
+
+// Sum returns Σ w_i.
+func (w Weights) Sum() float64 {
+	s := 0.0
+	for _, v := range w {
+		s += v
+	}
+	return s
+}
+
+// AttemptProbability maps the common control variable p to station t's
+// attempt probability per Lemma 1: p_t = w·p / (1 + (w−1)·p). For w = 1
+// this is the identity; larger weights yield proportionally larger
+// attempt rates (and hence throughput shares).
+func AttemptProbability(p, weight float64) float64 {
+	return weight * p / (1 + (weight-1)*p)
+}
+
+// PPersistent evaluates the p-persistent CSMA throughput model of
+// Section III for a fixed PHY.
+type PPersistent struct {
+	PHY PHY
+}
+
+// slotProbabilities returns PI = Π(1−p_i) and PT = Σ p_i/(1−p_i) for the
+// given per-station attempt probabilities.
+func slotProbabilities(attempt []float64) (pi, pt float64) {
+	pi = 1.0
+	for _, p := range attempt {
+		pi *= 1 - p
+	}
+	for _, p := range attempt {
+		pt += p / (1 - p)
+	}
+	return pi, pt
+}
+
+// StationThroughput returns S_t(p), Eq. (2): station t's throughput in
+// bits/second when the per-station attempt probabilities are attempt.
+func (m PPersistent) StationThroughput(attempt []float64, t int) float64 {
+	if t < 0 || t >= len(attempt) {
+		panic(fmt.Sprintf("model: station %d out of range", t))
+	}
+	pi, pt := slotProbabilities(attempt)
+	denom := m.slotDenominator(pi, pt)
+	if denom <= 0 {
+		return 0
+	}
+	ep := float64(m.PHY.Payload)
+	return attempt[t] / (1 - attempt[t]) * ep * pi / denom
+}
+
+// SystemThroughputAt returns S(p) = Σ_t S_t(p) for arbitrary per-station
+// attempt probabilities.
+func (m PPersistent) SystemThroughputAt(attempt []float64) float64 {
+	pi, pt := slotProbabilities(attempt)
+	denom := m.slotDenominator(pi, pt)
+	if denom <= 0 {
+		return 0
+	}
+	ep := float64(m.PHY.Payload)
+	return ep * pt * pi / denom
+}
+
+// slotDenominator is the expected slot duration in seconds:
+// PI·σ + PT·PI·(Ts−Tc) + (1−PI)·Tc  (the denominator of Eqs. (2)–(3)).
+func (m PPersistent) slotDenominator(pi, pt float64) float64 {
+	sigma := m.PHY.Slot.Seconds()
+	ts := m.PHY.Ts().Seconds()
+	tc := m.PHY.Tc().Seconds()
+	return pi*sigma + pt*pi*(ts-tc) + (1-pi)*tc
+}
+
+// SystemThroughput returns S(p, W), Eq. (3): the system throughput when
+// every station t uses p_t = AttemptProbability(p, W[t]).
+func (m PPersistent) SystemThroughput(p float64, w Weights) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	attempt := make([]float64, len(w))
+	for i, wi := range w {
+		attempt[i] = AttemptProbability(p, wi)
+	}
+	return m.SystemThroughputAt(attempt)
+}
+
+// F evaluates f(p, W) from the proof of Theorem 2. f shares the sign of
+// ∂S/∂p: it is strictly decreasing in p with f(0,W) = 1 > 0 and
+// f(1,W) = −(N−1)·T*_c < 0, so its unique root on (0,1) is the optimal
+// control value p*.
+//
+//	f(p,W) = T*_c · (1 − Σ_i p_i − PI) + PI
+func (m PPersistent) F(p float64, w Weights) float64 {
+	tcStar := m.PHY.TcSlots()
+	sum := 0.0
+	pi := 1.0
+	for _, wi := range w {
+		pt := AttemptProbability(p, wi)
+		sum += pt
+		pi *= 1 - pt
+	}
+	return tcStar*(1-sum-pi) + pi
+}
+
+// OptimalP returns p*, the root of f(p, W) on (0, 1), found by bisection.
+// By Theorem 2 the root exists and is unique for any valid weight vector.
+func (m PPersistent) OptimalP(w Weights) float64 {
+	lo, hi := 1e-9, 1-1e-9
+	flo := m.F(lo, w)
+	fhi := m.F(hi, w)
+	if flo < 0 {
+		return lo // degenerate: maximum at the left edge
+	}
+	if fhi > 0 {
+		return hi
+	}
+	for i := 0; i < 200 && hi-lo > 1e-14; i++ {
+		mid := (lo + hi) / 2
+		if m.F(mid, w) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ApproxOptimalP returns Bianchi's closed-form approximation of Eq. (8),
+// p* ≈ 1/(N·sqrt(T*_c/2)), valid for unit weights.
+func (m PPersistent) ApproxOptimalP(n int) float64 {
+	return 1 / (float64(n) * math.Sqrt(m.PHY.TcSlots()/2))
+}
+
+// MaxThroughput returns S(p*, W), the optimum of Eq. (4).
+func (m PPersistent) MaxThroughput(w Weights) float64 {
+	return m.SystemThroughput(m.OptimalP(w), w)
+}
+
+// IdleSlotsPerTransmission returns E[idle slots between consecutive busy
+// slots] = PI/(1−PI) when every station uses the mapped attempt
+// probabilities. IdleSense drives this statistic to a fixed target; the
+// paper's Table III shows the optimum value varies with the hidden-node
+// configuration, which is why a fixed target fails.
+func (m PPersistent) IdleSlotsPerTransmission(p float64, w Weights) float64 {
+	pi := 1.0
+	for _, wi := range w {
+		pi *= 1 - AttemptProbability(p, wi)
+	}
+	if pi >= 1 {
+		return math.Inf(1)
+	}
+	return pi / (1 - pi)
+}

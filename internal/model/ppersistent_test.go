@@ -1,0 +1,246 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func paperModel() PPersistent { return PPersistent{PHY: PaperPHY()} }
+
+func TestLemma1WeightedThroughputRatio(t *testing.T) {
+	// Lemma 1: p_j = w·p_i/(1+(w−1)p_i) ⇒ S_j = w·S_i, independent of the
+	// other stations' attempt probabilities.
+	m := paperModel()
+	attempt := []float64{0.02, 0.05, 0.01, 0.03}
+	for _, w := range []float64{1, 2, 3, 5.5} {
+		a := append([]float64(nil), attempt...)
+		a[1] = AttemptProbability(a[0], w) // station 1 uses weight-w mapping of station 0's p
+		s0 := m.StationThroughput(a, 0)
+		s1 := m.StationThroughput(a, 1)
+		if s0 <= 0 {
+			t.Fatalf("w=%v: S_0 = %v, want positive", w, s0)
+		}
+		if ratio := s1 / s0; math.Abs(ratio-w) > 1e-9 {
+			t.Errorf("w=%v: throughput ratio %v, want %v", w, ratio, w)
+		}
+	}
+}
+
+func TestLemma1RatioIndependentOfOthers(t *testing.T) {
+	prop := func(seed uint8) bool {
+		m := paperModel()
+		p := 0.01 + float64(seed%40)/1000
+		w := 1 + float64(seed%5)
+		// Two environments with very different third-party attempt rates.
+		a1 := []float64{p, AttemptProbability(p, w), 0.001}
+		a2 := []float64{p, AttemptProbability(p, w), 0.2}
+		r1 := m.StationThroughput(a1, 1) / m.StationThroughput(a1, 0)
+		r2 := m.StationThroughput(a2, 1) / m.StationThroughput(a2, 0)
+		return math.Abs(r1-w) < 1e-9 && math.Abs(r2-w) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttemptProbabilityMapping(t *testing.T) {
+	if got := AttemptProbability(0.3, 1); got != 0.3 {
+		t.Errorf("weight 1 must be identity, got %v", got)
+	}
+	if got := AttemptProbability(0, 5); got != 0 {
+		t.Errorf("p=0 must map to 0, got %v", got)
+	}
+	if got := AttemptProbability(1, 5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("p=1 must map to 1, got %v", got)
+	}
+	// Monotone increasing in both p and w.
+	if AttemptProbability(0.2, 2) <= AttemptProbability(0.1, 2) {
+		t.Error("mapping not increasing in p")
+	}
+	if AttemptProbability(0.2, 3) <= AttemptProbability(0.2, 2) {
+		t.Error("mapping not increasing in w")
+	}
+}
+
+func TestSystemThroughputIsSumOfStations(t *testing.T) {
+	m := paperModel()
+	attempt := []float64{0.02, 0.03, 0.015, 0.05, 0.01}
+	sum := 0.0
+	for i := range attempt {
+		sum += m.StationThroughput(attempt, i)
+	}
+	if got := m.SystemThroughputAt(attempt); math.Abs(got-sum)/sum > 1e-9 {
+		t.Errorf("SystemThroughputAt = %v, Σ stations = %v", got, sum)
+	}
+}
+
+func TestTheorem2QuasiConcavity(t *testing.T) {
+	// f(p,W) must be strictly decreasing with a single sign change, and
+	// S(p,W) must be unimodal: increasing before p*, decreasing after.
+	m := paperModel()
+	for _, w := range []Weights{UnitWeights(10), UnitWeights(40), {1, 1, 2, 2, 3, 3}} {
+		pstar := m.OptimalP(w)
+		if pstar <= 0 || pstar >= 1 {
+			t.Fatalf("p* = %v out of (0,1)", pstar)
+		}
+		if f := m.F(pstar, w); math.Abs(f) > 1e-6 {
+			t.Errorf("f(p*) = %v, want ≈ 0", f)
+		}
+		// f decreasing.
+		prev := math.Inf(1)
+		for p := 0.001; p < 0.9; p += 0.004 {
+			f := m.F(p, w)
+			if f >= prev {
+				t.Fatalf("f not strictly decreasing at p=%v", p)
+			}
+			prev = f
+		}
+		// S unimodal around p*.
+		sStar := m.SystemThroughput(pstar, w)
+		for _, p := range []float64{pstar / 4, pstar / 2, pstar * 2, pstar * 4} {
+			if p >= 1 {
+				continue
+			}
+			if s := m.SystemThroughput(p, w); s >= sStar {
+				t.Errorf("S(%v) = %v ≥ S(p*) = %v", p, s, sStar)
+			}
+		}
+		grid := []float64{}
+		for p := pstar / 8; p < math.Min(0.5, pstar*8); p *= 1.2 {
+			grid = append(grid, p)
+		}
+		rising := true
+		for i := 1; i < len(grid); i++ {
+			s0 := m.SystemThroughput(grid[i-1], w)
+			s1 := m.SystemThroughput(grid[i], w)
+			if rising && s1 < s0 {
+				rising = false
+			} else if !rising && s1 > s0+1e-6 {
+				t.Fatalf("S(p,W) is not unimodal: rises again at p=%v", grid[i])
+			}
+		}
+	}
+}
+
+func TestFBoundaryValues(t *testing.T) {
+	// f(0,W) = 1 and f(1,W) = −(N−1)·T*_c (Theorem 2's proof).
+	m := paperModel()
+	w := UnitWeights(10)
+	if got := m.F(0, w); math.Abs(got-1) > 1e-9 {
+		t.Errorf("f(0) = %v, want 1", got)
+	}
+	want := -float64(len(w)-1) * m.PHY.TcSlots()
+	if got := m.F(1, w); math.Abs(got-want) > 1e-6 {
+		t.Errorf("f(1) = %v, want %v", got, want)
+	}
+}
+
+func TestEq8Approximation(t *testing.T) {
+	// Bianchi's p* ≈ 1/(N·sqrt(T*_c/2)) should be within a few percent of
+	// the exact root for moderate N with unit weights.
+	m := paperModel()
+	for _, n := range []int{10, 20, 40, 60} {
+		exact := m.OptimalP(UnitWeights(n))
+		approx := m.ApproxOptimalP(n)
+		if rel := math.Abs(exact-approx) / exact; rel > 0.12 {
+			t.Errorf("N=%d: exact p*=%v approx=%v rel err %v > 12%%", n, exact, approx, rel)
+		}
+	}
+}
+
+func TestMaxThroughputMagnitude(t *testing.T) {
+	// The paper's plots peak around 22 Mbps; with our slightly lighter
+	// accounting of ns-3's PHY overheads the optimum lands near 24.5 Mbps.
+	// The acceptance band checks the magnitude, not the exact level (see
+	// EXPERIMENTS.md).
+	m := paperModel()
+	for _, n := range []int{10, 20, 40, 60} {
+		s := m.MaxThroughput(UnitWeights(n))
+		if s < 21e6 || s > 27e6 {
+			t.Errorf("N=%d: optimal throughput %v Mbps, want ≈ 22-25", n, s/1e6)
+		}
+	}
+}
+
+func TestOptimalThroughputNearlyFlatInN(t *testing.T) {
+	// At the optimum, throughput barely degrades with N (Fig. 3's flat
+	// wTOP/TORA curves): S*(60) within 5% of S*(10).
+	m := paperModel()
+	s10 := m.MaxThroughput(UnitWeights(10))
+	s60 := m.MaxThroughput(UnitWeights(60))
+	if (s10-s60)/s10 > 0.05 {
+		t.Errorf("optimal throughput drops too much: S*(10)=%v S*(60)=%v", s10, s60)
+	}
+}
+
+func TestWeightedOptimumSharesProportional(t *testing.T) {
+	// At any common p, station shares must be proportional to weights
+	// (Table II's normalised-throughput column).
+	m := paperModel()
+	w := Weights{1, 1, 1, 2, 2, 2, 3, 3, 3, 3}
+	p := m.OptimalP(w)
+	attempt := make([]float64, len(w))
+	for i, wi := range w {
+		attempt[i] = AttemptProbability(p, wi)
+	}
+	base := m.StationThroughput(attempt, 0)
+	for i, wi := range w {
+		si := m.StationThroughput(attempt, i)
+		if math.Abs(si/base-wi) > 1e-9 {
+			t.Errorf("station %d: normalized share %v, want %v", i, si/base, wi)
+		}
+	}
+}
+
+func TestIdleSlotsPerTransmission(t *testing.T) {
+	m := paperModel()
+	// At the optimum with unit weights, PI/(1-PI) is a small single-digit
+	// number (the IdleSense observation); it must also be decreasing in p.
+	w := UnitWeights(40)
+	pstar := m.OptimalP(w)
+	idle := m.IdleSlotsPerTransmission(pstar, w)
+	if idle < 1 || idle > 10 {
+		t.Errorf("idle slots per transmission at optimum = %v, want O(1)", idle)
+	}
+	if m.IdleSlotsPerTransmission(pstar/2, w) <= idle {
+		t.Error("idle slots must increase when p decreases")
+	}
+	if m.IdleSlotsPerTransmission(0, w) != math.Inf(1) {
+		t.Error("idle slots at p=0 must be +Inf")
+	}
+}
+
+func TestWeightsValidate(t *testing.T) {
+	if err := (Weights{1, 2}).Validate(); err != nil {
+		t.Errorf("valid weights rejected: %v", err)
+	}
+	for _, w := range []Weights{{}, {0}, {-1}, {math.NaN()}, {math.Inf(1)}} {
+		if err := w.Validate(); err == nil {
+			t.Errorf("invalid weights %v accepted", w)
+		}
+	}
+	if got := (Weights{1, 2, 3}).Sum(); got != 6 {
+		t.Errorf("Sum = %v, want 6", got)
+	}
+}
+
+func TestSystemThroughputEdges(t *testing.T) {
+	m := paperModel()
+	w := UnitWeights(5)
+	if got := m.SystemThroughput(0, w); got != 0 {
+		t.Errorf("S(0) = %v, want 0", got)
+	}
+	if got := m.SystemThroughput(1, w); got != 0 {
+		t.Errorf("S(1) = %v, want 0", got)
+	}
+}
+
+func TestStationThroughputPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range station")
+		}
+	}()
+	paperModel().StationThroughput([]float64{0.1}, 1)
+}

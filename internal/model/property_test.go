@@ -1,0 +1,146 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the Lemma 1 weight mapping is a bijection on (0,1) for every
+// positive weight, monotone in p, with exact inverse under 1/w.
+func TestAttemptProbabilityBijection(t *testing.T) {
+	prop := func(praw uint16, wraw uint8) bool {
+		p := (float64(praw) + 1) / (math.MaxUint16 + 2) // (0,1)
+		w := 0.25 + float64(wraw)/16                    // [0.25, 16)
+		q := AttemptProbability(p, w)
+		if q <= 0 || q >= 1 {
+			return false
+		}
+		// Applying the inverse weight mapping must return p.
+		back := AttemptProbability(q, 1/w)
+		return math.Abs(back-p) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a composite mapping by w1 then w2 equals the mapping by
+// w1·w2 — weights compose multiplicatively (Lemma 1's group structure).
+func TestAttemptProbabilityComposes(t *testing.T) {
+	prop := func(praw uint16, w1raw, w2raw uint8) bool {
+		p := (float64(praw) + 1) / (math.MaxUint16 + 2)
+		w1 := 0.5 + float64(w1raw)/32
+		w2 := 0.5 + float64(w2raw)/32
+		composed := AttemptProbability(AttemptProbability(p, w1), w2)
+		direct := AttemptProbability(p, w1*w2)
+		return math.Abs(composed-direct) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: S(p,W) is non-negative and bounded by the channel bit rate
+// for any weights and p.
+func TestSystemThroughputBounds(t *testing.T) {
+	m := paperModel()
+	prop := func(praw uint16, seeds [6]uint8) bool {
+		p := float64(praw) / math.MaxUint16
+		w := make(Weights, len(seeds))
+		for i, s := range seeds {
+			w[i] = 0.5 + float64(s)/32
+		}
+		s := m.SystemThroughput(p, w)
+		return s >= 0 && s <= m.PHY.BitRate
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the optimal p* decreases as stations are added (more
+// contenders need gentler access), and optimal throughput changes by
+// only a few percent.
+func TestOptimalPMonotoneInN(t *testing.T) {
+	m := paperModel()
+	prev := 1.0
+	for n := 2; n <= 80; n += 6 {
+		p := m.OptimalP(UnitWeights(n))
+		if p >= prev {
+			t.Fatalf("p*(%d) = %v did not decrease (prev %v)", n, p, prev)
+		}
+		prev = p
+	}
+}
+
+// Property: N·p* is approximately constant (the classic observation the
+// estimate-N schemes rely on).
+func TestNTimesPStarNearlyConstant(t *testing.T) {
+	m := paperModel()
+	base := 10 * m.OptimalP(UnitWeights(10))
+	for n := 20; n <= 80; n += 10 {
+		v := float64(n) * m.OptimalP(UnitWeights(n))
+		if math.Abs(v-base)/base > 0.08 {
+			t.Errorf("N·p* drifted: %v at N=%d vs %v at N=10", v, n, base)
+		}
+	}
+}
+
+// Property: scaling all weights by a common factor leaves S(p,W)'s
+// optimum unchanged (only relative weights matter).
+func TestWeightScaleInvarianceOfOptimum(t *testing.T) {
+	m := paperModel()
+	w := Weights{1, 2, 3, 1, 2}
+	scaled := make(Weights, len(w))
+	for i := range w {
+		scaled[i] = 10 * w[i]
+	}
+	// The control variable p is not scale-free, but the achieved optimal
+	// throughput must match: both parameterise the same attempt-vector
+	// family.
+	a := m.MaxThroughput(w)
+	b := m.MaxThroughput(scaled)
+	if math.Abs(a-b)/a > 1e-6 {
+		t.Errorf("optimum changed under weight scaling: %v vs %v", a, b)
+	}
+}
+
+// Property: the RandomReset fixed point τ always lies in (0, 1) and its
+// collision probability in [0, 1) for any valid (j, p0, N).
+func TestRandomResetFixedPointRange(t *testing.T) {
+	prop := func(jraw, p0raw, nraw uint8) bool {
+		rr := paperRR(1 + int(nraw%99))
+		j := int(jraw) % rr.Backoff.M
+		p0 := float64(p0raw) / 255
+		tau, c, err := rr.FixedPointJP(j, p0)
+		if err != nil {
+			return false
+		}
+		return tau > 0 && tau < 1 && c >= 0 && c < 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the DCF fixed point τ decreases when CWmin doubles — larger
+// windows mean gentler access.
+func TestDCFTauMonotoneInCWMin(t *testing.T) {
+	prop := func(nraw uint8) bool {
+		n := 2 + int(nraw%60)
+		prev := 1.0
+		for _, cw := range []int{4, 8, 16, 32, 64} {
+			d := DCF{PHY: PaperPHY(), Backoff: BackoffParams{CWMin: cw, M: 5}, N: n}
+			tau, _ := d.FixedPoint()
+			if tau >= prev {
+				return false
+			}
+			prev = tau
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// RandomReset evaluates the appendix model of the RandomReset(j; p0)
+// exponential-backoff policy: Eqs. (9)–(11), the α_j(c) recursion of
+// Lemma 4, and the τ fixed point used throughout Theorem 3.
+type RandomReset struct {
+	PHY     PHY
+	Backoff BackoffParams
+	N       int
+}
+
+// Alphas returns α_0(c) … α_m(c) via the recursion from Lemma 4:
+//
+//	α_m(c) = 2^m
+//	α_j(c) = (1−c)·2^j + c·α_{j+1}(c)
+//
+// α_j(c)·CWmin/2 is (proportional to) the expected backoff slots spent per
+// service cycle when resetting to stage j; Lemma 4 shows α_j ≤ α_{j+1}.
+func (r RandomReset) Alphas(c float64) []float64 {
+	m := r.Backoff.M
+	alpha := make([]float64, m+1)
+	alpha[m] = math.Pow(2, float64(m))
+	for j := m - 1; j >= 0; j-- {
+		alpha[j] = (1-c)*math.Pow(2, float64(j)) + c*alpha[j+1]
+	}
+	return alpha
+}
+
+// ResetDistribution returns the reset distribution q of RandomReset(j;p0):
+// q_j = p0 and q_i = (1−p0)/(m−j) for i ∈ {j+1, …, m} (Definition 4).
+func (r RandomReset) ResetDistribution(j int, p0 float64) ([]float64, error) {
+	m := r.Backoff.M
+	if j < 0 || j > m-1 {
+		return nil, fmt.Errorf("model: reset stage j=%d outside {0..%d}", j, m-1)
+	}
+	if p0 < 0 || p0 > 1 {
+		return nil, fmt.Errorf("model: reset probability p0=%v outside [0,1]", p0)
+	}
+	q := make([]float64, m+1)
+	q[j] = p0
+	share := (1 - p0) / float64(m-j)
+	for i := j + 1; i <= m; i++ {
+		q[i] = share
+	}
+	return q, nil
+}
+
+// AttemptGivenCollision returns τ̂_c(q) of Eq. (9): the attempt probability
+// of a station using reset distribution q, conditioned on per-attempt
+// collision probability c.
+//
+//	τ̂_c(q) = κ_0 / Σ_j q_j·α_j(c)
+func (r RandomReset) AttemptGivenCollision(q []float64, c float64) float64 {
+	if len(q) != r.Backoff.M+1 {
+		panic(fmt.Sprintf("model: reset distribution has %d entries, want %d", len(q), r.Backoff.M+1))
+	}
+	alpha := r.Alphas(c)
+	den := 0.0
+	for j, qj := range q {
+		den += qj * alpha[j]
+	}
+	return r.Backoff.Kappa(0) / den
+}
+
+// AttemptGivenCollisionJP returns τ_c(j; p0) of Eq. (11), the special case
+// of AttemptGivenCollision for the RandomReset(j;p0) distribution.
+func (r RandomReset) AttemptGivenCollisionJP(j int, p0 float64, c float64) (float64, error) {
+	q, err := r.ResetDistribution(j, p0)
+	if err != nil {
+		return 0, err
+	}
+	return r.AttemptGivenCollision(q, c), nil
+}
+
+// FixedPoint solves τ = τ̂_c(q), c = 1 − (1−τ)^(N−1) (Eqs. (9)–(10)) by
+// bisection. Uniqueness follows from the monotonicity argument of
+// Lemma 2: τ̂ decreases in c while c increases in τ.
+func (r RandomReset) FixedPoint(q []float64) (tau, c float64) {
+	if r.N < 1 {
+		return 0, 0
+	}
+	if r.N == 1 {
+		return r.AttemptGivenCollision(q, 0), 0
+	}
+	collision := func(tau float64) float64 {
+		return 1 - math.Pow(1-tau, float64(r.N-1))
+	}
+	g := func(tau float64) float64 {
+		return tau - r.AttemptGivenCollision(q, collision(tau))
+	}
+	lo, hi := 1e-12, 1-1e-12
+	for i := 0; i < 200 && hi-lo > 1e-15; i++ {
+		mid := (lo + hi) / 2
+		if g(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	tau = (lo + hi) / 2
+	return tau, collision(tau)
+}
+
+// FixedPointJP solves the fixed point for RandomReset(j; p0).
+func (r RandomReset) FixedPointJP(j int, p0 float64) (tau, c float64, err error) {
+	q, err := r.ResetDistribution(j, p0)
+	if err != nil {
+		return 0, 0, err
+	}
+	tau, c = r.FixedPoint(q)
+	return tau, c, nil
+}
+
+// Throughput returns the saturation throughput of N stations running
+// RandomReset(j; p0), via the fixed-point attempt probability (the
+// analytic curve of Fig. 13).
+func (r RandomReset) Throughput(j int, p0 float64) (float64, error) {
+	tau, _, err := r.FixedPointJP(j, p0)
+	if err != nil {
+		return 0, err
+	}
+	return HomogeneousThroughput(r.PHY, r.N, tau), nil
+}
+
+// AttemptRange returns [τ(m−1; 0), τ(0; 1)], the span of attempt
+// probabilities reachable by RandomReset policies. By Lemma 6 the fixed
+// point of *any* exponential-backoff reset distribution lies inside it.
+func (r RandomReset) AttemptRange() (lo, hi float64) {
+	tauLo, _, _ := r.FixedPointJP(r.Backoff.M-1, 0)
+	tauHi, _, _ := r.FixedPointJP(0, 1)
+	return tauLo, tauHi
+}
+
+// OptimalJP scans the two-parameter family and returns the (j, p0) pair
+// whose fixed point maximises throughput — the target TORA-CSMA converges
+// to. The grid step controls the p0 resolution.
+func (r RandomReset) OptimalJP(step float64) (bestJ int, bestP0, bestS float64) {
+	if step <= 0 {
+		step = 0.01
+	}
+	bestS = -1
+	for j := 0; j <= r.Backoff.M-1; j++ {
+		for p0 := 0.0; p0 <= 1.0+1e-12; p0 += step {
+			s, err := r.Throughput(j, math.Min(p0, 1))
+			if err != nil {
+				continue
+			}
+			if s > bestS {
+				bestJ, bestP0, bestS = j, math.Min(p0, 1), s
+			}
+		}
+	}
+	return bestJ, bestP0, bestS
+}

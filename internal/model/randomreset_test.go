@@ -1,0 +1,388 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func paperRR(n int) RandomReset {
+	return RandomReset{PHY: PaperPHY(), Backoff: PaperBackoff(), N: n}
+}
+
+func TestBackoffParams(t *testing.T) {
+	b := PaperBackoff()
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if b.CWMax() != 1024 {
+		t.Errorf("CWMax = %d, want 1024", b.CWMax())
+	}
+	if b.M != 7 {
+		t.Errorf("M = %d, want 7 (= log2(1024/8))", b.M)
+	}
+	if b.CW(0) != 8 || b.CW(3) != 64 || b.CW(7) != 1024 {
+		t.Errorf("CW ladder wrong: %d %d %d", b.CW(0), b.CW(3), b.CW(7))
+	}
+	// Clamping.
+	if b.CW(-1) != 8 || b.CW(99) != 1024 {
+		t.Error("CW must clamp out-of-range stages")
+	}
+	if got := b.Kappa(0); got != 0.25 {
+		t.Errorf("Kappa(0) = %v, want 2/8", got)
+	}
+	if err := (BackoffParams{CWMin: 0, M: 1}).Validate(); err == nil {
+		t.Error("CWMin=0 accepted")
+	}
+	if err := (BackoffParams{CWMin: 8, M: -1}).Validate(); err == nil {
+		t.Error("M=-1 accepted")
+	}
+}
+
+func TestLemma4AlphaMonotoneInStage(t *testing.T) {
+	// α_0(c) ≤ α_1(c) ≤ … ≤ α_m(c), strict for c < 1.
+	r := paperRR(10)
+	for _, c := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.999} {
+		alpha := r.Alphas(c)
+		for j := 1; j < len(alpha); j++ {
+			if alpha[j-1] >= alpha[j] {
+				t.Errorf("c=%v: α_%d=%v ≥ α_%d=%v", c, j-1, alpha[j-1], j, alpha[j])
+			}
+		}
+		// α_j ≥ 2^j (the induction step in Lemma 4's proof).
+		for j, a := range alpha {
+			if a < math.Pow(2, float64(j))-1e-9 {
+				t.Errorf("c=%v: α_%d=%v < 2^%d", c, j, a, j)
+			}
+		}
+	}
+	// At c=1 all α_j equal 2^m.
+	alpha := r.Alphas(1)
+	for j, a := range alpha {
+		if math.Abs(a-128) > 1e-9 {
+			t.Errorf("c=1: α_%d = %v, want 2^7 = 128", j, a)
+		}
+	}
+}
+
+func TestAlphaClosedFormAgreesWithRecursion(t *testing.T) {
+	// α_j(c) = (1−c)·Σ_{i=j}^{m−1} 2^i c^{i−j} + 2^m·c^{m−j}.
+	r := paperRR(10)
+	for _, c := range []float64{0, 0.25, 0.6, 0.95} {
+		alpha := r.Alphas(c)
+		m := r.Backoff.M
+		for j := 0; j <= m; j++ {
+			closed := math.Pow(2, float64(m)) * math.Pow(c, float64(m-j))
+			for i := j; i < m; i++ {
+				closed += (1 - c) * math.Pow(2, float64(i)) * math.Pow(c, float64(i-j))
+			}
+			if math.Abs(alpha[j]-closed) > 1e-9*math.Max(1, closed) {
+				t.Errorf("c=%v j=%d: recursion %v, closed form %v", c, j, alpha[j], closed)
+			}
+		}
+	}
+}
+
+func TestResetDistribution(t *testing.T) {
+	r := paperRR(10)
+	q, err := r.ResetDistribution(2, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 8 {
+		t.Fatalf("len(q) = %d, want 8", len(q))
+	}
+	if q[2] != 0.6 {
+		t.Errorf("q[2] = %v, want 0.6", q[2])
+	}
+	sum := 0.0
+	for i, v := range q {
+		sum += v
+		if i < 2 && v != 0 {
+			t.Errorf("q[%d] = %v, want 0 below stage j", i, v)
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("Σq = %v, want 1", sum)
+	}
+	share := (1 - 0.6) / 5
+	for i := 3; i <= 7; i++ {
+		if math.Abs(q[i]-share) > 1e-12 {
+			t.Errorf("q[%d] = %v, want %v", i, q[i], share)
+		}
+	}
+	if _, err := r.ResetDistribution(7, 0.5); err == nil {
+		t.Error("j = m accepted; Definition 4 requires j ≤ m−1")
+	}
+	if _, err := r.ResetDistribution(-1, 0.5); err == nil {
+		t.Error("j = -1 accepted")
+	}
+	if _, err := r.ResetDistribution(0, 1.5); err == nil {
+		t.Error("p0 = 1.5 accepted")
+	}
+}
+
+func TestLemma5AttemptMonotoneInP0(t *testing.T) {
+	// τ_c(j;p0) strictly increasing in p0 for every c ∈ [0,1); and the
+	// fixed-point τ(j;p0) inherits the monotonicity (Lemma 2).
+	r := paperRR(10)
+	for j := 0; j <= r.Backoff.M-1; j += 3 {
+		for _, c := range []float64{0, 0.3, 0.7} {
+			prev := -1.0
+			for p0 := 0.0; p0 <= 1.0001; p0 += 0.1 {
+				tau, err := r.AttemptGivenCollisionJP(j, math.Min(p0, 1), c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tau <= prev {
+					t.Errorf("j=%d c=%v: τ_c not increasing at p0=%v", j, c, p0)
+				}
+				prev = tau
+			}
+		}
+		prev := -1.0
+		for p0 := 0.0; p0 <= 1.0001; p0 += 0.1 {
+			tau, _, err := r.FixedPointJP(j, math.Min(p0, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tau <= prev {
+				t.Errorf("j=%d: fixed-point τ not increasing at p0=%v", j, p0)
+			}
+			prev = tau
+		}
+	}
+}
+
+func TestLemma6AttemptRangeContainsAllResets(t *testing.T) {
+	// Any reset distribution's fixed point lies in [τ(m−1;0), τ(0;1)].
+	r := paperRR(20)
+	lo, hi := r.AttemptRange()
+	if lo >= hi {
+		t.Fatalf("attempt range [%v, %v] degenerate", lo, hi)
+	}
+	prop := func(raw [8]uint8) bool {
+		q := make([]float64, 8)
+		sum := 0.0
+		for i, v := range raw {
+			q[i] = float64(v) + 1 // avoid the all-zero vector
+			sum += q[i]
+		}
+		for i := range q {
+			q[i] /= sum
+		}
+		tau, _ := r.FixedPoint(q)
+		return tau >= lo-1e-9 && tau <= hi+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemma7AdjacentStagesOverlap(t *testing.T) {
+	// τ(j+1; 0) ≤ τ(j; 0) ≤ τ(j+1; 1): the (j, p0) family sweeps the range
+	// with no gaps, so every reachable attempt probability is achieved.
+	r := paperRR(15)
+	for j := 0; j <= r.Backoff.M-2; j++ {
+		tj0, _, _ := r.FixedPointJP(j, 0)
+		tj1p0, _, _ := r.FixedPointJP(j+1, 0)
+		tj1p1, _, _ := r.FixedPointJP(j+1, 1)
+		if tj1p0 > tj0+1e-9 {
+			t.Errorf("j=%d: τ(j+1;0)=%v > τ(j;0)=%v", j, tj1p0, tj0)
+		}
+		if tj0 > tj1p1+1e-9 {
+			t.Errorf("j=%d: τ(j;0)=%v > τ(j+1;1)=%v — gap in coverage", j, tj0, tj1p1)
+		}
+	}
+}
+
+func TestFixedPointConsistency(t *testing.T) {
+	// The returned (τ, c) must satisfy both equations simultaneously.
+	r := paperRR(25)
+	for j := 0; j <= 6; j += 2 {
+		for _, p0 := range []float64{0, 0.3, 0.8, 1} {
+			tau, c, err := r.FixedPointJP(j, p0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantC := 1 - math.Pow(1-tau, float64(r.N-1))
+			if math.Abs(c-wantC) > 1e-9 {
+				t.Errorf("j=%d p0=%v: c=%v, want %v", j, p0, c, wantC)
+			}
+			back, _ := r.AttemptGivenCollisionJP(j, p0, c)
+			if math.Abs(back-tau) > 1e-6 {
+				t.Errorf("j=%d p0=%v: τ=%v but τ_c(c)=%v", j, p0, tau, back)
+			}
+		}
+	}
+}
+
+func TestFixedPointSingleStation(t *testing.T) {
+	r := paperRR(1)
+	tau, c, err := r.FixedPointJP(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("c = %v, want 0 for a single station", c)
+	}
+	// Always resetting to stage 0 with no collisions: τ = κ_0 / α_0(0) = κ_0.
+	if want := r.Backoff.Kappa(0); math.Abs(tau-want) > 1e-9 {
+		t.Errorf("τ = %v, want κ_0 = %v", tau, want)
+	}
+}
+
+func TestFig13ShapeThroughputQuasiConcaveInP0(t *testing.T) {
+	// For j=0 the analytic throughput-vs-p0 curve must be unimodal
+	// (Lemma 8) for both 20 and 40 stations.
+	for _, n := range []int{20, 40} {
+		r := paperRR(n)
+		var prev float64
+		rising := true
+		first := true
+		for p0 := 0.0; p0 <= 1.0001; p0 += 0.02 {
+			s, err := r.Throughput(0, math.Min(p0, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !first {
+				if rising && s < prev-1e-6 {
+					rising = false
+				} else if !rising && s > prev+1e-6 {
+					t.Fatalf("N=%d: throughput vs p0 not unimodal at p0=%v", n, p0)
+				}
+			}
+			prev, first = s, false
+		}
+	}
+}
+
+func TestOptimalJPApproachesPPersistentOptimum(t *testing.T) {
+	// The remark after Theorem 3: for N within [Nl, Nh] the best
+	// RandomReset policy should achieve nearly the optimal p-persistent
+	// throughput (the exponential family can realize τ ≈ p*).
+	for _, n := range []int{10, 40} {
+		r := paperRR(n)
+		_, _, bestS := r.OptimalJP(0.05)
+		star := PPersistent{PHY: r.PHY}.MaxThroughput(UnitWeights(n))
+		if bestS < 0.97*star {
+			t.Errorf("N=%d: best RandomReset %v Mbps < 97%% of p-persistent optimum %v Mbps",
+				n, bestS/1e6, star/1e6)
+		}
+	}
+}
+
+func TestRemarkTORAOptimalAmongAllPolicies(t *testing.T) {
+	// Remark after Theorem 3: because exponential-backoff attempt
+	// probabilities are confined to [τ(m−1;0), τ(0;1)], TORA-CSMA is
+	// optimal among ALL policies exactly when the unconstrained optimum
+	// p* falls inside that range; for CWmin = 8, m = 7 the paper states
+	// this holds for N from 2 up to ≈140. Verify the claim against our
+	// fixed points: p*(N) must lie inside the reachable range across
+	// 2..140 and fall outside shortly above.
+	phy := PaperPHY()
+	m := PPersistent{PHY: phy}
+	inRange := func(n int) bool {
+		rr := RandomReset{PHY: phy, Backoff: PaperBackoff(), N: n}
+		lo, hi := rr.AttemptRange()
+		p := m.OptimalP(UnitWeights(n))
+		return p >= lo && p <= hi
+	}
+	for _, n := range []int{2, 5, 10, 20, 40, 80, 120, 135} {
+		if !inRange(n) {
+			t.Errorf("N=%d: p* outside the exponential-backoff attempt range; remark violated", n)
+		}
+	}
+	// With our PHY constants the bound binds at N ≈ 139 (the paper's
+	// slightly lighter T*c puts it at 140); beyond that the range must
+	// no longer contain p*.
+	if inRange(145) {
+		t.Error("N=145: p* still inside the range; expected the bound to bind near 140")
+	}
+}
+
+func TestHomogeneousThroughputEdges(t *testing.T) {
+	phy := PaperPHY()
+	if got := HomogeneousThroughput(phy, 0, 0.1); got != 0 {
+		t.Errorf("n=0: got %v", got)
+	}
+	if got := HomogeneousThroughput(phy, 5, 0); got != 0 {
+		t.Errorf("tau=0: got %v", got)
+	}
+	if got := HomogeneousThroughput(phy, 5, 1); got != 0 {
+		t.Errorf("tau=1: got %v", got)
+	}
+}
+
+func TestDCFFixedPoint(t *testing.T) {
+	phy := PaperPHY()
+	for _, n := range []int{2, 10, 40, 60} {
+		d := DCF{PHY: phy, Backoff: PaperBackoff(), N: n}
+		tau, c := d.FixedPoint()
+		if tau <= 0 || tau >= 1 || c < 0 || c >= 1 {
+			t.Fatalf("N=%d: fixed point (τ=%v, c=%v) out of range", n, tau, c)
+		}
+		// Consistency.
+		if want := 1 - math.Pow(1-tau, float64(n-1)); math.Abs(c-want) > 1e-9 {
+			t.Errorf("N=%d: c inconsistent", n)
+		}
+		if want := d.AttemptGivenCollision(c); math.Abs(tau-want) > 1e-6 {
+			t.Errorf("N=%d: τ inconsistent: %v vs %v", n, tau, want)
+		}
+	}
+}
+
+func TestDCFTauDecreasesWithN(t *testing.T) {
+	phy := PaperPHY()
+	prev := 1.0
+	for _, n := range []int{2, 5, 10, 20, 40, 80} {
+		d := DCF{PHY: phy, Backoff: PaperBackoff(), N: n}
+		tau, _ := d.FixedPoint()
+		if tau >= prev {
+			t.Errorf("N=%d: τ=%v did not decrease (prev %v)", n, tau, prev)
+		}
+		prev = tau
+	}
+}
+
+func TestDCFThroughputDegradesWithN(t *testing.T) {
+	// Fig. 3's standard-802.11 curve: throughput declines as N grows and
+	// sits clearly below the optimum for large N. With CWmin=8, even at
+	// N=10 DCF is far below optimal.
+	phy := PaperPHY()
+	s10 := DCF{PHY: phy, Backoff: PaperBackoff(), N: 10}.Throughput()
+	s60 := DCF{PHY: phy, Backoff: PaperBackoff(), N: 60}.Throughput()
+	if s60 >= s10 {
+		t.Errorf("DCF throughput should degrade: S(10)=%v, S(60)=%v", s10, s60)
+	}
+	star := PPersistent{PHY: phy}.MaxThroughput(UnitWeights(60))
+	if s60 > 0.9*star {
+		t.Errorf("DCF at N=60 (%v) unexpectedly close to optimum (%v)", s60, star)
+	}
+}
+
+func TestDCFSingleStation(t *testing.T) {
+	d := DCF{PHY: PaperPHY(), Backoff: PaperBackoff(), N: 1}
+	tau, c := d.FixedPoint()
+	if c != 0 {
+		t.Errorf("c = %v, want 0", c)
+	}
+	// τ(0) = 2/(W+1) for the standard formula.
+	want := 2.0 / float64(PaperBackoff().CWMin+1)
+	if math.Abs(tau-want) > 1e-9 {
+		t.Errorf("τ = %v, want %v", tau, want)
+	}
+	dz := DCF{PHY: PaperPHY(), Backoff: PaperBackoff(), N: 0}
+	if tau, _ := dz.FixedPoint(); tau != 0 {
+		t.Errorf("N=0: τ = %v, want 0", tau)
+	}
+}
+
+func TestAttemptGivenCollisionPanicsOnBadQ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for wrong-length reset distribution")
+		}
+	}()
+	paperRR(5).AttemptGivenCollision([]float64{1}, 0.1)
+}

@@ -1,0 +1,109 @@
+package sim
+
+// Event is a scheduled callback. The callback receives the scheduler so it
+// can schedule follow-up events.
+type Event struct {
+	at   Time
+	seq  uint64 // FIFO tie-breaker for equal timestamps
+	fn   func()
+	dead bool // set by Cancel; popped events with dead=true are dropped
+
+	index int // position in the heap, maintained by eventHeap
+}
+
+// At returns the instant the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel marks the event so it will not fire. Cancelling an already-fired
+// or already-cancelled event is a no-op. Cancellation is lazy: the entry
+// stays in the heap and is discarded when popped.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// Cancelled reports whether the event has been cancelled.
+func (e *Event) Cancelled() bool { return e != nil && e.dead }
+
+// eventHeap is a binary min-heap ordered by (at, seq). It implements the
+// operations of container/heap directly to avoid interface boxing on the
+// hot path.
+type eventHeap struct {
+	items []*Event
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+func (h *eventHeap) push(e *Event) {
+	e.index = len(h.items)
+	h.items = append(h.items, e)
+	h.up(e.index)
+}
+
+func (h *eventHeap) pop() *Event {
+	n := len(h.items)
+	if n == 0 {
+		return nil
+	}
+	top := h.items[0]
+	h.swap(0, n-1)
+	h.items[n-1] = nil // let the GC reclaim the event
+	h.items = h.items[:n-1]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+func (h *eventHeap) peek() *Event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

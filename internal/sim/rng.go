@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the variate helpers the MAC layer needs. Every
+// simulation owns one RNG seeded explicitly, so runs are reproducible and
+// independent runs can use distinct seeds.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent generator for a sub-component. The stream
+// index keeps components (e.g. per-node backoff draws) decoupled so that
+// adding a node does not perturb the draws of existing nodes.
+func (g *RNG) Split(stream int64) *RNG {
+	// SplitMix-style avalanche of (seed drawn from parent, stream).
+	z := uint64(g.r.Int63()) ^ (uint64(stream) * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return NewRNG(int64(z))
+}
+
+// Float64 returns a uniform draw in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform draw in [0,n). n must be positive.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Bernoulli reports true with probability p.
+func (g *RNG) Bernoulli(p float64) bool {
+	switch {
+	case p <= 0:
+		return false
+	case p >= 1:
+		return true
+	default:
+		return g.r.Float64() < p
+	}
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials: P(k) = p·(1−p)^k for k = 0, 1, 2, …
+//
+// This is exactly the "attempt with probability p in each slot" contention
+// window of p-persistent CSMA: a node draws Geometric(p) idle slots to wait
+// before its next attempt.
+func (g *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return math.MaxInt32 // effectively never; callers clamp p away from 0
+	}
+	u := g.r.Float64()
+	// Inverse transform: k = floor(ln(1-u) / ln(1-p)). 1-u is uniform on
+	// (0,1], so the argument of log is never zero.
+	k := math.Floor(math.Log1p(-u) / math.Log1p(-p))
+	if k < 0 {
+		return 0
+	}
+	if k > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(k)
+}
+
+// UniformWindow returns a uniform draw from [0, cw-1], the standard 802.11
+// backoff draw for contention window cw. cw must be ≥ 1.
+func (g *RNG) UniformWindow(cw int) int {
+	if cw <= 1 {
+		return 0
+	}
+	return g.r.Intn(cw)
+}
+
+// Shuffle pseudo-randomly permutes n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// NormFloat64 returns a standard normal draw (used by tests to synthesise
+// noisy throughput observations).
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }

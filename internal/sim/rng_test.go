@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometricMean(t *testing.T) {
+	// E[Geometric(p)] = (1-p)/p. Check within sampling tolerance.
+	for _, p := range []float64{0.05, 0.1, 0.3, 0.5, 0.9} {
+		g := NewRNG(42)
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(g.Geometric(p))
+		}
+		mean := sum / n
+		want := (1 - p) / p
+		se := math.Sqrt((1-p)/(p*p)) / math.Sqrt(n) // std error of the mean
+		if math.Abs(mean-want) > 6*se+1e-9 {
+			t.Errorf("p=%v: mean %v, want %v ± %v", p, mean, want, 6*se)
+		}
+	}
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	g := NewRNG(1)
+	if got := g.Geometric(1); got != 0 {
+		t.Errorf("Geometric(1) = %d, want 0", got)
+	}
+	if got := g.Geometric(1.5); got != 0 {
+		t.Errorf("Geometric(1.5) = %d, want 0", got)
+	}
+	if got := g.Geometric(0); got != math.MaxInt32 {
+		t.Errorf("Geometric(0) = %d, want MaxInt32", got)
+	}
+	if got := g.Geometric(-0.1); got != math.MaxInt32 {
+		t.Errorf("Geometric(-0.1) = %d, want MaxInt32", got)
+	}
+}
+
+func TestGeometricZeroProbabilityOfNegative(t *testing.T) {
+	prop := func(seed int64, praw uint8) bool {
+		p := 0.01 + 0.98*float64(praw)/255
+		g := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			if g.Geometric(p) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	g := NewRNG(5)
+	if g.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !g.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if g.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("Bernoulli(0.25) frequency %v", frac)
+	}
+}
+
+func TestUniformWindow(t *testing.T) {
+	g := NewRNG(9)
+	if got := g.UniformWindow(1); got != 0 {
+		t.Errorf("UniformWindow(1) = %d, want 0", got)
+	}
+	if got := g.UniformWindow(0); got != 0 {
+		t.Errorf("UniformWindow(0) = %d, want 0", got)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := g.UniformWindow(8)
+		if v < 0 || v > 7 {
+			t.Fatalf("UniformWindow(8) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("UniformWindow(8) hit %d distinct values, want 8", len(seen))
+	}
+}
+
+func TestRNGReproducible(t *testing.T) {
+	a, b := NewRNG(1234), NewRNG(1234)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	g := NewRNG(77)
+	a := g.Split(1)
+	g2 := NewRNG(77)
+	b := g2.Split(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Intn(1000) == b.Intn(1000) {
+			same++
+		}
+	}
+	if same > 16 {
+		t.Errorf("streams for different indices look correlated: %d/64 equal draws", same)
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+import "fmt"
+
+// Scheduler is the discrete-event loop: a clock plus a priority queue of
+// events. The zero value is ready to use with the clock at time zero.
+//
+// Scheduler is not safe for concurrent use; a simulation is a single
+// logical thread of control. Run simulations in parallel by creating one
+// Scheduler per goroutine.
+type Scheduler struct {
+	now    Time
+	heap   eventHeap
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events in the queue, including lazily
+// cancelled ones that have not yet been discarded.
+func (s *Scheduler) Pending() int { return s.heap.Len() }
+
+// At schedules fn to run at instant t. Scheduling in the past panics: a
+// causality violation is always a programming error in the caller.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	s.heap.push(e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Halt stops the event loop after the currently executing event returns.
+// Remaining events stay queued; Run and RunUntil may be called again to
+// resume.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Step executes the single next live event and returns true, or returns
+// false when the queue holds no live events.
+func (s *Scheduler) Step() bool {
+	for {
+		e := s.heap.pop()
+		if e == nil {
+			return false
+		}
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+}
+
+// Run executes events until the queue is empty or Halt is called.
+func (s *Scheduler) Run() {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ end, then advances the clock
+// to exactly end. Events scheduled after end remain queued.
+func (s *Scheduler) RunUntil(end Time) {
+	s.halted = false
+	for !s.halted {
+		e := s.heap.peek()
+		if e == nil || e.at > end {
+			break
+		}
+		s.Step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}

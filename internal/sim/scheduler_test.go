@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerRunsInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []Time
+	times := []Time{500, 100, 300, 200, 400}
+	for _, at := range times {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	s.Run()
+	want := append([]Time(nil), times...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+	if s.Now() != 500 {
+		t.Errorf("clock = %v, want 500", s.Now())
+	}
+}
+
+func TestSchedulerFIFOForEqualTimestamps(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		s.At(1000, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; equal-timestamp events must fire FIFO", i, v)
+		}
+	}
+}
+
+func TestSchedulerAfterUsesCurrentTime(t *testing.T) {
+	s := NewScheduler()
+	var at Time
+	s.At(100, func() {
+		s.After(50, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 150 {
+		t.Errorf("nested After fired at %v, want 150", at)
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.At(10, func() { fired = true })
+	e.Cancel()
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancelling again must be a no-op, including on nil.
+	e.Cancel()
+	var nilEvent *Event
+	nilEvent.Cancel()
+}
+
+func TestSchedulerCancelFromEarlierEvent(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	later := s.At(20, func() { fired = true })
+	s.At(10, func() { later.Cancel() })
+	s.Run()
+	if fired {
+		t.Error("event cancelled by an earlier event still fired")
+	}
+}
+
+func TestSchedulerHalt(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		s.At(i, func() {
+			count++
+			if count == 3 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("fired %d events before halt, want 3", count)
+	}
+	s.Run() // resume
+	if count != 10 {
+		t.Fatalf("fired %d events total after resume, want 10", count)
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 25 {
+		t.Errorf("clock = %v, want 25 after RunUntil(25)", s.Now())
+	}
+	s.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events after second RunUntil, want 4", len(fired))
+	}
+	if s.Now() != 100 {
+		t.Errorf("clock = %v, want 100", s.Now())
+	}
+}
+
+func TestSchedulerPanicsOnPastEvent(t *testing.T) {
+	s := NewScheduler()
+	s.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(50, func() {})
+	})
+	s.Run()
+}
+
+func TestSchedulerPanicsOnNegativeDelay(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Error("After with negative delay did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+// Property: for any sequence of insertion timestamps, pops are sorted and
+// stable within equal timestamps.
+func TestSchedulerOrderProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		s := NewScheduler()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i, v := range raw {
+			at := Time(v % 64) // force many timestamp collisions
+			i := i
+			s.At(at, func() { fired = append(fired, rec{at, i}) })
+		}
+		s.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving random cancellations never breaks ordering and
+// cancelled events never fire.
+func TestSchedulerCancelProperty(t *testing.T) {
+	prop := func(raw []uint16, cancelMask []bool) bool {
+		s := NewScheduler()
+		events := make([]*Event, len(raw))
+		firedCancelled := false
+		var last Time = -1
+		for i, v := range raw {
+			at := Time(v % 32)
+			i := i
+			events[i] = s.At(at, func() {
+				if i < len(cancelMask) && cancelMask[i] {
+					firedCancelled = true
+				}
+				if at < last {
+					firedCancelled = true // reuse flag as failure signal
+				}
+				last = at
+			})
+		}
+		for i, e := range events {
+			if i < len(cancelMask) && cancelMask[i] {
+				e.Cancel()
+			}
+		}
+		s.Run()
+		return !firedCancelled
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapStress(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	s := NewScheduler()
+	const n = 5000
+	var fired int
+	var last Time = -1
+	var insert func(depth int)
+	insert = func(depth int) {
+		if depth == 0 {
+			return
+		}
+		at := s.Now().Add(Duration(r.Intn(1000)))
+		s.At(at, func() {
+			if s.Now() < last {
+				t.Errorf("time went backwards: %v after %v", s.Now(), last)
+			}
+			last = s.Now()
+			fired++
+			if fired < n {
+				insert(depth)
+			}
+		})
+	}
+	for i := 0; i < 8; i++ {
+		insert(1)
+	}
+	s.Run()
+	if fired < n {
+		t.Fatalf("fired %d events, want ≥ %d", fired, n)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(9 * Microsecond)
+	if t1 != Time(9000) {
+		t.Errorf("Add: got %d, want 9000", t1)
+	}
+	if d := t1.Sub(t0); d != 9*Microsecond {
+		t.Errorf("Sub: got %v, want 9µs", d)
+	}
+	if !t0.Before(t1) || t1.Before(t0) {
+		t.Error("Before comparisons wrong")
+	}
+	if !t1.After(t0) || t0.After(t1) {
+		t.Error("After comparisons wrong")
+	}
+	if s := Time(1500 * Millisecond).Seconds(); s != 1.5 {
+		t.Errorf("Seconds: got %v, want 1.5", s)
+	}
+	if got := Time(Second).String(); got != "1.000000s" {
+		t.Errorf("String: got %q", got)
+	}
+}

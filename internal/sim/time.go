@@ -1,0 +1,50 @@
+// Package sim provides a small discrete-event simulation kernel used by the
+// WLAN simulators in this repository.
+//
+// The kernel is deliberately minimal: a monotonic nanosecond clock, a binary
+// heap of timestamped events with deterministic FIFO ordering for equal
+// timestamps, lazy cancellation through event handles, and reproducible
+// random-variate helpers. Everything above it (MAC state machines, channel
+// models) lives in the higher-level packages.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a simulated point in time, measured in nanoseconds from the start
+// of the run. It is a distinct type from time.Duration to keep "instant" and
+// "duration" arithmetic honest at compile time.
+type Time int64
+
+// Duration is a simulated span of time in nanoseconds.
+type Duration = time.Duration
+
+// Common durations used by the WLAN timing model.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier instant s.
+func (t Time) Sub(s Time) Duration { return Duration(t - s) }
+
+// Before reports whether t precedes s.
+func (t Time) Before(s Time) bool { return t < s }
+
+// After reports whether t follows s.
+func (t Time) After(s Time) bool { return t > s }
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the instant with microsecond precision, e.g. "1.250000s".
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}

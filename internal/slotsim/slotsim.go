@@ -1,0 +1,268 @@
+// Package slotsim is a slot-synchronous simulator of saturated CSMA/CA in
+// a *fully connected* network — the world Bianchi's renewal analysis
+// lives in. Every station shares one global slot clock: a slot is idle
+// (σ), a success (Ts) or a collision (Tc) depending on how many stations'
+// backoff counters expire together.
+//
+// It exists for two reasons: cross-validating the event-driven engine
+// (both must agree on connected topologies — an ablation the test suite
+// enforces) and running large parameter sweeps quickly (it advances one
+// busy period per step instead of simulating the air byte by byte).
+// It cannot represent hidden nodes: that is eventsim's job.
+package slotsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/mac"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config assembles a slotted run.
+type Config struct {
+	// PHY supplies timing (zero value: model.PaperPHY()).
+	PHY model.PHY
+	// Policies holds one contention policy per station.
+	Policies []mac.Policy
+	// Controller optionally runs at the AP, exactly as in eventsim.
+	Controller core.Controller
+	// UpdatePeriod is the controller window (default 250 ms).
+	UpdatePeriod sim.Duration
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Result summarises a slotted run.
+type Result struct {
+	// Duration is the simulated time consumed.
+	Duration sim.Duration
+	// Throughput is delivered payload bits per second.
+	Throughput float64
+	// PerStation is each station's delivered payload bits.
+	PerStation []int64
+	// Successes/Collisions count busy periods by outcome (a collision
+	// period involving any number of stations counts once).
+	Successes, Collisions int64
+	// IdleSlots is the total count of idle slots.
+	IdleSlots int64
+	// IdleSlotsPerTx is the mean idle-slot run before a busy period.
+	IdleSlotsPerTx float64
+	// ControlSeries tracks the controller variable per window.
+	ControlSeries stats.TimeSeries
+	// ThroughputSeries tracks windowed throughput.
+	ThroughputSeries stats.TimeSeries
+}
+
+// ThroughputMbps returns the run throughput in Mbit/s.
+func (r *Result) ThroughputMbps() float64 { return r.Throughput / 1e6 }
+
+// Simulator is the slot-synchronous engine.
+type Simulator struct {
+	cfg      Config
+	rng      *sim.RNG
+	stations []slotStation
+	now      sim.Time
+
+	windowBits  int64
+	windowStart sim.Time
+	nextWindow  sim.Time
+	control     frame.Control
+
+	res Result
+}
+
+type slotStation struct {
+	policy  mac.Policy
+	rng     *sim.RNG
+	counter int
+	bits    int64
+}
+
+// New validates cfg and builds a simulator.
+func New(cfg Config) (*Simulator, error) {
+	if len(cfg.Policies) == 0 {
+		return nil, fmt.Errorf("slotsim: no policies")
+	}
+	for i, p := range cfg.Policies {
+		if p == nil {
+			return nil, fmt.Errorf("slotsim: policy %d is nil", i)
+		}
+	}
+	if cfg.PHY == (model.PHY{}) {
+		cfg.PHY = model.PaperPHY()
+	}
+	if err := cfg.PHY.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.UpdatePeriod == 0 {
+		cfg.UpdatePeriod = 250 * sim.Millisecond
+	}
+	if cfg.UpdatePeriod < 0 {
+		return nil, fmt.Errorf("slotsim: negative UpdatePeriod")
+	}
+	s := &Simulator{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
+	s.stations = make([]slotStation, len(cfg.Policies))
+	for i := range s.stations {
+		st := &s.stations[i]
+		st.policy = cfg.Policies[i]
+		st.rng = s.rng.Split(int64(i))
+		st.counter = st.policy.NextBackoff(st.rng)
+	}
+	s.res.PerStation = make([]int64, len(cfg.Policies))
+	s.nextWindow = sim.Time(cfg.UpdatePeriod)
+	if cfg.Controller != nil {
+		s.control = cfg.Controller.Control()
+	}
+	return s, nil
+}
+
+// Run advances the simulation until at least the given simulated duration
+// has elapsed and returns the results.
+func (s *Simulator) Run(duration sim.Duration) *Result {
+	end := sim.Time(duration)
+	idleRun := int64(0)
+	var attackerIdx []int // scratch, reused across slots
+	for s.now.Before(end) {
+		// Collect stations whose counters expired.
+		attackerIdx = attackerIdx[:0]
+		for i := range s.stations {
+			if s.stations[i].counter == 0 {
+				attackerIdx = append(attackerIdx, i)
+			}
+		}
+		attackers := len(attackerIdx)
+		switch {
+		case attackers == 0:
+			s.res.IdleSlots++
+			idleRun++
+			s.now = s.now.Add(s.cfg.PHY.Slot)
+			for i := range s.stations {
+				s.stations[i].counter--
+			}
+		case attackers == 1:
+			winner := attackerIdx[0]
+			st := &s.stations[winner]
+			s.observe(idleRun)
+			idleRun = 0
+			s.now = s.now.Add(s.cfg.PHY.Ts())
+			s.res.Successes++
+			payload := int64(s.cfg.PHY.Payload)
+			st.bits += payload
+			s.res.PerStation[winner] += payload
+			s.windowBits += payload
+			st.policy.OnSuccess(st.rng)
+			s.broadcast()
+			s.redraw(winner)
+			s.resume(attackerIdx)
+		default:
+			s.observe(idleRun)
+			idleRun = 0
+			s.now = s.now.Add(s.cfg.PHY.Tc())
+			s.res.Collisions++
+			// Each station must be drawn exactly once per busy period:
+			// attackers through the failure path, the rest through
+			// resume. A naive "redraw then resume anything non-zero"
+			// double-draws attackers whose fresh counter came up ≥ 1,
+			// inflating their attempt probability from p to p+(1−p)p.
+			for _, i := range attackerIdx {
+				st := &s.stations[i]
+				st.policy.OnFailure(st.rng)
+				s.redraw(i)
+			}
+			s.resume(attackerIdx)
+		}
+		s.maybeCloseWindow()
+	}
+	s.res.Duration = s.now.Sub(0)
+	if secs := s.now.Seconds(); secs > 0 {
+		total := int64(0)
+		for i := range s.res.PerStation {
+			total += s.res.PerStation[i]
+		}
+		s.res.Throughput = float64(total) / secs
+	}
+	busy := s.res.Successes + s.res.Collisions
+	if busy > 0 {
+		s.res.IdleSlotsPerTx = float64(s.res.IdleSlots) / float64(busy)
+	}
+	return &s.res
+}
+
+// observe feeds medium-observing policies (IdleSense) the idle run that
+// preceded the busy period just starting.
+func (s *Simulator) observe(idleRun int64) {
+	for i := range s.stations {
+		if obs, ok := s.stations[i].policy.(mac.MediumObserver); ok {
+			obs.ObserveTransmission(float64(idleRun))
+		}
+	}
+}
+
+// redraw draws a fresh backoff for station i after an attempt.
+func (s *Simulator) redraw(i int) {
+	st := &s.stations[i]
+	st.counter = st.policy.NextBackoff(st.rng)
+}
+
+// resume applies post-busy-period counter semantics to the stations that
+// did not attempt in the closing busy period: memoryless policies redraw,
+// window policies keep their frozen residual. attackers lists the
+// stations that transmitted (already redrawn by their outcome paths).
+func (s *Simulator) resume(attackers []int) {
+	k := 0 // attackers is sorted ascending by construction
+	for i := range s.stations {
+		if k < len(attackers) && attackers[k] == i {
+			k++
+			continue
+		}
+		st := &s.stations[i]
+		if m, ok := st.policy.(mac.Memoryless); ok && m.BackoffMemoryless() {
+			st.counter = st.policy.NextBackoff(st.rng)
+		}
+	}
+}
+
+// broadcast delivers the AP control block to every station.
+func (s *Simulator) broadcast() {
+	if s.cfg.Controller == nil {
+		return
+	}
+	for i := range s.stations {
+		s.stations[i].policy.OnControl(s.control)
+	}
+}
+
+// maybeCloseWindow runs the controller when the UPDATE_PERIOD boundary
+// has been crossed.
+func (s *Simulator) maybeCloseWindow() {
+	if s.now.Before(s.nextWindow) {
+		return
+	}
+	elapsed := s.now.Sub(s.windowStart).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(s.windowBits) / elapsed
+	}
+	s.res.ThroughputSeries.Append(s.now, rate)
+	if s.cfg.Controller != nil {
+		s.cfg.Controller.OnWindowEnd(rate)
+		s.control = s.cfg.Controller.Control()
+		v := s.control.P
+		if s.control.Scheme == frame.ControlTORA {
+			v = s.control.P0
+		}
+		s.res.ControlSeries.Append(s.now, v)
+		// Deliver the fresh control block immediately — the slotted
+		// abstraction of the AP's PIFS-priority beacon (eventsim models
+		// the beacon airtime explicitly). Without this, a collision
+		// collapse leaves no ACKs to carry the recovery values.
+		s.broadcast()
+	}
+	s.windowBits = 0
+	s.windowStart = s.now
+	s.nextWindow = s.now.Add(s.cfg.UpdatePeriod)
+}

@@ -1,0 +1,217 @@
+// Package topo models WLAN geometry: node placement around an access point
+// and the unit-disc connectivity that determines which stations can sense
+// or decode each other's transmissions.
+//
+// The paper configures ns-3 so that transmissions are decodable within
+// 16 m and carrier-sensable within 24 m (Table I). Two stations farther
+// than the sensing radius apart are hidden from each other. This package
+// reproduces exactly that geometry: connectivity is a pure function of
+// pairwise distance and the two radii.
+package topo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Point is a 2-D position in metres. The access point sits at the origin
+// by convention.
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance between p and q.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Radii groups the two disc radii of the PHY model.
+type Radii struct {
+	// Transmission is the maximum distance at which a frame can be
+	// decoded (16 m for the paper's ns-3 configuration).
+	Transmission float64
+	// Sensing is the maximum distance at which a transmission raises
+	// carrier sense (24 m in the paper).
+	Sensing float64
+}
+
+// PaperRadii returns the radii used throughout the paper's evaluation.
+func PaperRadii() Radii { return Radii{Transmission: 16, Sensing: 24} }
+
+// Topology is an immutable snapshot of station positions plus the derived
+// sensing/decoding sets. Station indices run 0..N-1; the access point is a
+// separate entity at AP.
+type Topology struct {
+	AP       Point
+	Stations []Point
+	Radii    Radii
+
+	senses  [][]bool // senses[i][j]: station i senses station j's transmissions
+	decodes [][]bool // decodes[i][j]: station i can decode station j
+}
+
+// New builds a topology and precomputes the connectivity matrices.
+func New(ap Point, stations []Point, r Radii) *Topology {
+	if r.Transmission <= 0 || r.Sensing <= 0 {
+		panic(fmt.Sprintf("topo: non-positive radii %+v", r))
+	}
+	t := &Topology{
+		AP:       ap,
+		Stations: append([]Point(nil), stations...),
+		Radii:    r,
+	}
+	n := len(stations)
+	t.senses = make([][]bool, n)
+	t.decodes = make([][]bool, n)
+	for i := 0; i < n; i++ {
+		t.senses[i] = make([]bool, n)
+		t.decodes[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				// A station trivially "senses" itself; it is never
+				// hidden from itself (the paper assumes t ∈ T_t).
+				t.senses[i][j] = true
+				t.decodes[i][j] = true
+				continue
+			}
+			d := stations[i].Distance(stations[j])
+			t.senses[i][j] = d <= r.Sensing
+			t.decodes[i][j] = d <= r.Transmission
+		}
+	}
+	return t
+}
+
+// N returns the number of stations (excluding the AP).
+func (t *Topology) N() int { return len(t.Stations) }
+
+// Senses reports whether station i performs carrier sense on station j's
+// transmissions.
+func (t *Topology) Senses(i, j int) bool { return t.senses[i][j] }
+
+// Decodes reports whether station i can decode frames sent by station j.
+func (t *Topology) Decodes(i, j int) bool { return t.decodes[i][j] }
+
+// StationHearsAP reports whether station i can decode AP transmissions.
+// The paper assumes all stations receive all AP transmissions; this method
+// verifies the geometric claim for a concrete layout.
+func (t *Topology) StationHearsAP(i int) bool {
+	return t.Stations[i].Distance(t.AP) <= t.Radii.Transmission
+}
+
+// StationSensesAP reports whether station i senses AP transmissions.
+func (t *Topology) StationSensesAP(i int) bool {
+	return t.Stations[i].Distance(t.AP) <= t.Radii.Sensing
+}
+
+// APDecodes reports whether the AP can decode station i. In the paper all
+// stations lie within the transmission radius of the AP.
+func (t *Topology) APDecodes(i int) bool {
+	return t.Stations[i].Distance(t.AP) <= t.Radii.Transmission
+}
+
+// SensedBy returns the indices of stations that sense station i
+// (excluding i itself).
+func (t *Topology) SensedBy(i int) []int {
+	var out []int
+	for j := range t.Stations {
+		if j != i && t.senses[j][i] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// HiddenPairs returns all unordered station pairs {i, j} that cannot sense
+// each other. The count of such pairs is the paper's measure of "how
+// hidden" a topology is.
+func (t *Topology) HiddenPairs() [][2]int {
+	var pairs [][2]int
+	for i := 0; i < t.N(); i++ {
+		for j := i + 1; j < t.N(); j++ {
+			if !t.senses[i][j] {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	return pairs
+}
+
+// FullyConnected reports whether every station senses every other station,
+// i.e. the network has no hidden pairs.
+func (t *Topology) FullyConnected() bool {
+	for i := 0; i < t.N(); i++ {
+		for j := 0; j < t.N(); j++ {
+			if !t.senses[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks the standing assumptions of the paper's system model:
+// every station must be decodable by the AP (uplink works) and must decode
+// the AP (ACKs and control broadcasts work). It returns a descriptive error
+// for the first violated assumption.
+func (t *Topology) Validate() error {
+	for i := range t.Stations {
+		if !t.APDecodes(i) {
+			return fmt.Errorf("topo: station %d at distance %.2f m exceeds AP transmission radius %.2f m",
+				i, t.Stations[i].Distance(t.AP), t.Radii.Transmission)
+		}
+		if !t.StationHearsAP(i) {
+			return fmt.Errorf("topo: station %d cannot decode the AP", i)
+		}
+	}
+	return nil
+}
+
+// CircleEdge places n stations evenly on the circle of the given radius
+// centred on the AP at the origin. With radius 8 and the paper's radii
+// every pairwise distance is ≤ 16 < 24, so the network is fully connected.
+func CircleEdge(n int, radius float64) []Point {
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = Point{X: radius * math.Cos(theta), Y: radius * math.Sin(theta)}
+	}
+	return pts
+}
+
+// UniformDisc places n stations uniformly at random in the disc of the
+// given radius centred on the AP. With radius 16 or 20 and sensing radius
+// 24, hidden pairs occur with non-zero probability — the paper's hidden
+// node construction.
+func UniformDisc(n int, radius float64, rng *sim.RNG) []Point {
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		// Uniform area density: r = R·sqrt(U).
+		r := radius * math.Sqrt(rng.Float64())
+		theta := 2 * math.Pi * rng.Float64()
+		pts[i] = Point{X: r * math.Cos(theta), Y: r * math.Sin(theta)}
+	}
+	return pts
+}
+
+// TwoClusters places two groups of n/2 stations in small clusters on
+// opposite sides of the AP, separation apart. With separation larger than
+// the sensing radius this yields a deterministic, maximally hidden
+// topology: every cross-cluster pair is hidden. Useful for repeatable
+// hidden-node tests.
+func TwoClusters(n int, separation float64) []Point {
+	pts := make([]Point, n)
+	half := separation / 2
+	for i := 0; i < n; i++ {
+		// Spread cluster members slightly so positions are distinct.
+		off := 0.1 * float64(i/2)
+		if i%2 == 0 {
+			pts[i] = Point{X: -half, Y: off}
+		} else {
+			pts[i] = Point{X: half, Y: off}
+		}
+	}
+	return pts
+}

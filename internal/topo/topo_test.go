@@ -1,0 +1,172 @@
+package topo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestCircleEdgeFullyConnected(t *testing.T) {
+	// The paper's "no hidden nodes" configuration: nodes on the edge of a
+	// disc of radius 8, transmission 16, sensing 24. Max pairwise distance
+	// is the diameter 16 ≤ 24, so no hidden pairs.
+	for _, n := range []int{2, 10, 40, 60} {
+		tp := New(Point{}, CircleEdge(n, 8), PaperRadii())
+		if !tp.FullyConnected() {
+			t.Errorf("n=%d: circle edge r=8 should be fully connected", n)
+		}
+		if got := tp.HiddenPairs(); len(got) != 0 {
+			t.Errorf("n=%d: %d hidden pairs, want 0", n, len(got))
+		}
+		if err := tp.Validate(); err != nil {
+			t.Errorf("n=%d: Validate: %v", n, err)
+		}
+	}
+}
+
+func TestCircleEdgeGeometry(t *testing.T) {
+	pts := CircleEdge(4, 8)
+	for i, p := range pts {
+		if d := p.Distance(Point{}); math.Abs(d-8) > 1e-9 {
+			t.Errorf("station %d at distance %v from AP, want 8", i, d)
+		}
+	}
+	// Opposite points are a diameter apart.
+	if d := pts[0].Distance(pts[2]); math.Abs(d-16) > 1e-9 {
+		t.Errorf("diameter = %v, want 16", d)
+	}
+}
+
+func TestTwoClustersHidden(t *testing.T) {
+	// Separation 30 m > 24 m sensing: cross-cluster pairs all hidden, but
+	// each node is within 15 m < 16 m of the AP so uplink still works.
+	tp := New(Point{}, TwoClusters(10, 30), PaperRadii())
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if tp.FullyConnected() {
+		t.Fatal("two clusters 30 m apart should contain hidden pairs")
+	}
+	pairs := tp.HiddenPairs()
+	want := 5 * 5 // every cross-cluster pair
+	if len(pairs) != want {
+		t.Errorf("hidden pairs = %d, want %d", len(pairs), want)
+	}
+	for _, pr := range pairs {
+		// Hidden pairs must be cross-cluster (one even, one odd index).
+		if pr[0]%2 == pr[1]%2 {
+			t.Errorf("pair %v is same-cluster but reported hidden", pr)
+		}
+	}
+}
+
+func TestSensingSymmetricAndReflexive(t *testing.T) {
+	rng := sim.NewRNG(3)
+	tp := New(Point{}, UniformDisc(30, 20, rng), PaperRadii())
+	for i := 0; i < tp.N(); i++ {
+		if !tp.Senses(i, i) || !tp.Decodes(i, i) {
+			t.Fatalf("station %d does not sense/decode itself", i)
+		}
+		for j := 0; j < tp.N(); j++ {
+			if tp.Senses(i, j) != tp.Senses(j, i) {
+				t.Fatalf("sensing not symmetric for (%d,%d)", i, j)
+			}
+			if tp.Decodes(i, j) && !tp.Senses(i, j) {
+				t.Fatalf("(%d,%d): decodable but not sensed; decode radius must be within sensing radius", i, j)
+			}
+		}
+	}
+}
+
+func TestUniformDiscInsideRadius(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		for _, p := range UniformDisc(50, 16, rng) {
+			if p.Distance(Point{}) > 16+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformDiscHiddenPairsAppear(t *testing.T) {
+	// With radius 20 the paper observes hidden nodes frequently. Over many
+	// seeds at N=40 at least one topology must contain hidden pairs.
+	found := false
+	for seed := int64(0); seed < 10; seed++ {
+		rng := sim.NewRNG(seed)
+		tp := New(Point{}, UniformDisc(40, 20, rng), Radii{Transmission: 20, Sensing: 24})
+		if len(tp.HiddenPairs()) > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no hidden pairs in any disc-radius-20 topology across 10 seeds")
+	}
+}
+
+func TestValidateRejectsOutOfRangeStation(t *testing.T) {
+	tp := New(Point{}, []Point{{X: 17}}, PaperRadii())
+	if err := tp.Validate(); err == nil {
+		t.Error("Validate accepted a station beyond the AP transmission radius")
+	}
+}
+
+func TestSensedBy(t *testing.T) {
+	// Stations 0 and 2 sit 26 m apart (hidden pair); station 1 is within
+	// sensing range (≈16.4 m) of both.
+	pts := []Point{{X: -13}, {X: 0, Y: 10}, {X: 13}}
+	tp := New(Point{}, pts, PaperRadii())
+	got := tp.SensedBy(1)
+	if len(got) != 2 {
+		t.Fatalf("SensedBy(1) = %v, want both neighbours", got)
+	}
+	if tp.Senses(0, 2) {
+		t.Error("stations 0 and 2 are 26 m apart and must be hidden")
+	}
+}
+
+func TestHiddenPairsMatchesDistance(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		pts := UniformDisc(20, 16, rng)
+		tp := New(Point{}, pts, PaperRadii())
+		count := 0
+		for i := 0; i < len(pts); i++ {
+			for j := i + 1; j < len(pts); j++ {
+				if pts[i].Distance(pts[j]) > 24 {
+					count++
+				}
+			}
+		}
+		return count == len(tp.HiddenPairs())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnBadRadii(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New accepted non-positive radii")
+		}
+	}()
+	New(Point{}, CircleEdge(3, 8), Radii{})
+}
+
+func TestNewCopiesStations(t *testing.T) {
+	pts := CircleEdge(3, 8)
+	tp := New(Point{}, pts, PaperRadii())
+	pts[0] = Point{X: 999}
+	if tp.Stations[0].X == 999 {
+		t.Error("Topology aliases the caller's slice")
+	}
+}

@@ -1,0 +1,272 @@
+// Package wlan is the public API of the repository: saturated CSMA/CA
+// WLAN simulation with hidden-node support and the stochastic-
+// approximation MAC tuning algorithms of Krishnan & Chaporkar,
+// "Stochastic Approximation Algorithm for Optimal Throughput Performance
+// of Wireless LANs" (arXiv:1006.2048) — wTOP-CSMA and TORA-CSMA —
+// alongside the standard 802.11 DCF and IdleSense baselines.
+//
+// A minimal run:
+//
+//	res, err := wlan.Run(wlan.Config{
+//		Topology: wlan.Connected(20),
+//		Scheme:   wlan.WTOPCSMA,
+//		Duration: 60 * time.Second,
+//	})
+//
+// See examples/ for weighted fairness, hidden-node comparisons and
+// dynamic node churn.
+package wlan
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eventsim"
+	"repro/internal/mac"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Scheme selects a channel-access scheme.
+type Scheme string
+
+// The four schemes of the paper's evaluation.
+const (
+	// DCF is the standard IEEE 802.11 exponential backoff.
+	DCF Scheme = "802.11"
+	// IdleSense is Heusse et al.'s AIMD on the contention window.
+	IdleSense Scheme = "IdleSense"
+	// WTOPCSMA is the paper's weighted-fair throughput-optimal
+	// p-persistent CSMA (Kiefer–Wolfowitz on p at the AP).
+	WTOPCSMA Scheme = "wTOP-CSMA"
+	// TORACSMA is the paper's throughput-optimal RandomReset
+	// exponential backoff (Kiefer–Wolfowitz on p0 plus stage walking).
+	TORACSMA Scheme = "TORA-CSMA"
+)
+
+// Topology re-exports the geometric model: station positions plus
+// unit-disc sensing (24 m) and decoding (16 m) ranges.
+type Topology = topo.Topology
+
+// Point is a 2-D position in metres; the AP sits at the origin.
+type Point = topo.Point
+
+// Connected returns a fully connected topology: n stations on a circle
+// of radius 8 m around the AP (every pair within sensing range).
+func Connected(n int) *Topology {
+	return topo.New(topo.Point{}, topo.CircleEdge(n, 8), topo.PaperRadii())
+}
+
+// HiddenDisc returns a topology with stations placed uniformly at random
+// in a disc of the given radius (metres) around the AP. Radii above 12 m
+// can produce station pairs beyond the 24 m sensing range — hidden nodes.
+// Stations drawn beyond the 16 m decode radius are projected onto the rim
+// so every station keeps AP connectivity. The seed fixes the draw.
+func HiddenDisc(n int, radius float64, seed int64) *Topology {
+	rng := sim.NewRNG(seed)
+	pts := topo.UniformDisc(n, radius, rng)
+	for i, p := range pts {
+		if d := p.Distance(topo.Point{}); d > 16 {
+			scale := 15.999 / d
+			pts[i] = topo.Point{X: p.X * scale, Y: p.Y * scale}
+		}
+	}
+	return topo.New(topo.Point{}, pts, topo.PaperRadii())
+}
+
+// Custom builds a topology from explicit station positions with the
+// paper's radii. The AP is at the origin; every station must lie within
+// the 16 m decode radius.
+func Custom(stations []Point) *Topology {
+	return topo.New(topo.Point{}, stations, topo.PaperRadii())
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Topology fixes station placement. Required.
+	Topology *Topology
+	// Scheme selects the channel-access algorithm (default DCF).
+	Scheme Scheme
+	// Weights assigns per-station fairness weights (wTOP-CSMA only;
+	// nil means unit weights). Length must match the station count.
+	Weights []float64
+	// Duration is the simulated time (default 30 s).
+	Duration time.Duration
+	// Warmup is excluded by Result.ConvergedThroughputMbps (default
+	// Duration/2).
+	Warmup time.Duration
+	// Seed makes runs reproducible (default 1).
+	Seed int64
+	// UpdatePeriod is the controller window Δ (default 250 ms).
+	UpdatePeriod time.Duration
+	// RTSCTS enables the RTS/CTS exchange before every data frame:
+	// hidden-node collisions move onto the short control frames at the
+	// cost of fixed control-rate overhead (the trade-off discussed in
+	// the paper's introduction).
+	RTSCTS bool
+	// FrameErrorRate applies i.i.d. loss to data frames in [0, 1).
+	FrameErrorRate float64
+	// Trace, when non-nil, receives every completed frame. Construct
+	// one with NewTraceWriter and analyse captures with AnalyzeTrace.
+	Trace Tracer
+}
+
+// Tracer is the frame-capture hook; obtain one from NewTraceWriter.
+type Tracer = eventsim.Tracer
+
+// TraceWriter captures the simulation's frame stream as JSON lines.
+type TraceWriter = trace.Writer
+
+// TraceSummary aggregates a capture (frame counts by type, per-station
+// delivery and retry statistics, goodput).
+type TraceSummary = trace.Summary
+
+// NewTraceWriter returns a Tracer that writes a JSONL capture to w.
+// Close it after the run to flush buffered lines.
+func NewTraceWriter(w io.Writer) *TraceWriter { return trace.NewWriter(w) }
+
+// AnalyzeTrace aggregates a JSONL capture produced by NewTraceWriter.
+func AnalyzeTrace(r io.Reader) (*TraceSummary, error) { return trace.Analyze(r) }
+
+// ShortTermFairness computes Jain's fairness index over sliding windows
+// of `window` successful data frames from a capture, returning the
+// per-window indices and their mean. A scheme can be perfectly fair over
+// a whole run yet starve stations for bursts; this metric exposes that.
+func ShortTermFairness(r io.Reader, window int) (indices []float64, mean float64, err error) {
+	return trace.ShortTermFairness(r, window)
+}
+
+// Result re-exports the simulator's run summary.
+type Result = eventsim.Result
+
+// Simulation is a configured run that supports mid-run node churn.
+type Simulation struct {
+	inner  *eventsim.Simulator
+	warmup sim.Duration
+}
+
+// New assembles a simulation without running it.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("wlan: Topology is required")
+	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = DCF
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = cfg.Duration / 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	n := cfg.Topology.N()
+	if cfg.Weights != nil {
+		if len(cfg.Weights) != n {
+			return nil, fmt.Errorf("wlan: %d weights for %d stations", len(cfg.Weights), n)
+		}
+		if cfg.Scheme != WTOPCSMA {
+			return nil, fmt.Errorf("wlan: weights require the wTOP-CSMA scheme")
+		}
+	}
+
+	phy := model.PaperPHY()
+	back := model.PaperBackoff()
+	policies := make([]mac.Policy, n)
+	var controller core.Controller
+	switch cfg.Scheme {
+	case DCF:
+		for i := range policies {
+			policies[i] = mac.NewStandardDCF(back.CWMin, back.CWMax())
+		}
+	case IdleSense:
+		for i := range policies {
+			policies[i] = mac.NewIdleSense(mac.IdleSenseConfig{})
+		}
+	case WTOPCSMA:
+		for i := range policies {
+			w := 1.0
+			if cfg.Weights != nil {
+				w = cfg.Weights[i]
+			}
+			policies[i] = mac.NewPPersistent(w, 0.1)
+		}
+		controller = core.NewWTOP(core.WTOPConfig{Scale: phy.BitRate})
+	case TORACSMA:
+		for i := range policies {
+			policies[i] = mac.NewRandomReset(back.CWMin, back.M, 0, 1)
+		}
+		controller = core.NewTORA(core.TORAConfig{M: back.M, Scale: phy.BitRate})
+	default:
+		return nil, fmt.Errorf("wlan: unknown scheme %q", cfg.Scheme)
+	}
+
+	inner, err := eventsim.New(eventsim.Config{
+		PHY:            phy,
+		Topology:       cfg.Topology,
+		Policies:       policies,
+		Controller:     controller,
+		Seed:           cfg.Seed,
+		UpdatePeriod:   sim.Duration(cfg.UpdatePeriod),
+		RTSCTS:         cfg.RTSCTS,
+		FrameErrorRate: cfg.FrameErrorRate,
+		Trace:          cfg.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{inner: inner, warmup: sim.Duration(cfg.Warmup)}, nil
+}
+
+// SetActiveAt schedules the active-station count to become exactly the
+// first n stations at simulated time t — node arrivals and departures.
+func (s *Simulation) SetActiveAt(t time.Duration, n int) error {
+	return s.inner.SetActiveAt(sim.Time(t), n)
+}
+
+// Run advances the simulation to the given simulated duration and
+// returns accumulated results; it may be called repeatedly with
+// increasing durations.
+func (s *Simulation) Run(d time.Duration) *Result {
+	return s.inner.Run(sim.Duration(d))
+}
+
+// Warmup returns the configured warmup used by converged averages.
+func (s *Simulation) Warmup() time.Duration { return time.Duration(s.warmup) }
+
+// Run assembles and executes one simulation in a single call.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(cfg.Duration), nil
+}
+
+// OptimalAttemptProbability returns the analytic optimum p* of the
+// p-persistent throughput function (Theorem 2) for n equal-weight
+// stations under the paper's PHY.
+func OptimalAttemptProbability(n int) float64 {
+	m := model.PPersistent{PHY: model.PaperPHY()}
+	return m.OptimalP(model.UnitWeights(n))
+}
+
+// MaxThroughputMbps returns the analytic saturation-throughput optimum
+// S(p*) in Mbit/s for n equal-weight stations in a connected network.
+func MaxThroughputMbps(n int) float64 {
+	m := model.PPersistent{PHY: model.PaperPHY()}
+	return m.MaxThroughput(model.UnitWeights(n)) / 1e6
+}
+
+// DCFThroughputMbps returns Bianchi's fixed-point prediction for the
+// standard 802.11 DCF with the paper's parameters, in Mbit/s.
+func DCFThroughputMbps(n int) float64 {
+	d := model.DCF{PHY: model.PaperPHY(), Backoff: model.PaperBackoff(), N: n}
+	return d.Throughput() / 1e6
+}
