@@ -265,6 +265,8 @@ func BenchmarkAblationUpdatePeriod(b *testing.B) {
 }
 
 // BenchmarkEventQueue measures the kernel's event scheduling throughput.
+// Steady state must report 0 allocs/op: events are pooled and the closure
+// is bound once (see the AllocsPerRun guardrails in internal/sim).
 func BenchmarkEventQueue(b *testing.B) {
 	s := sim.NewScheduler()
 	rng := sim.NewRNG(1)
@@ -276,11 +278,75 @@ func BenchmarkEventQueue(b *testing.B) {
 			s.After(sim.Duration(rng.Intn(1000)+1), reschedule)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < 64 && i < b.N; i++ {
 		s.After(sim.Duration(rng.Intn(1000)+1), reschedule)
 	}
 	s.Run()
+}
+
+// BenchmarkEventQueueArg measures the allocation-free AfterArg path the
+// simulators' hot loops use: a pre-bound func value plus a pointer
+// argument instead of a fresh closure per event.
+func BenchmarkEventQueueArg(b *testing.B) {
+	s := sim.NewScheduler()
+	rng := sim.NewRNG(1)
+	type payload struct{ count int }
+	arg := &payload{}
+	var reschedule func(any)
+	reschedule = func(a any) {
+		p := a.(*payload)
+		p.count++
+		if p.count < b.N {
+			s.AfterArg(sim.Duration(rng.Intn(1000)+1), reschedule, a)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < 64 && i < b.N; i++ {
+		s.AfterArg(sim.Duration(rng.Intn(1000)+1), reschedule, arg)
+	}
+	s.Run()
+}
+
+// BenchmarkEventCancel measures the schedule→cancel→collect cycle that
+// dominates frozen-backoff churn in eventsim.
+func BenchmarkEventCancel(b *testing.B) {
+	s := sim.NewScheduler()
+	noop := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := s.After(1, noop)
+		r.Cancel()
+		s.Step()
+	}
+}
+
+// BenchmarkGeometricDraw compares the direct geometric backoff draw with
+// the batched variant PPersistent uses.
+func BenchmarkGeometricDraw(b *testing.B) {
+	const p = 0.02
+	b.Run("direct", func(b *testing.B) {
+		rng := sim.NewRNG(1)
+		b.ReportAllocs()
+		acc := 0
+		for i := 0; i < b.N; i++ {
+			acc += rng.Geometric(p)
+		}
+		_ = acc
+	})
+	b.Run("batched", func(b *testing.B) {
+		rng := sim.NewRNG(1)
+		var batch sim.FloatBatch
+		batch.Bind(rng)
+		b.ReportAllocs()
+		acc := 0
+		for i := 0; i < b.N; i++ {
+			acc += sim.GeometricFromUniform(batch.Next(), p)
+		}
+		_ = acc
+	})
 }
 
 // BenchmarkEventSimThroughput measures wall-clock cost per simulated

@@ -5,6 +5,7 @@
 //	wlansim -scheme wTOP-CSMA -nodes 40 -duration 60s
 //	wlansim -scheme 802.11 -nodes 20 -disc 16 -seed 7 -series
 //	wlansim -scheme wTOP-CSMA -nodes 10 -weights 1,1,1,2,2,2,3,3,3,3
+//	wlansim -scheme TORA-CSMA -nodes 40 -duration 120s -fast
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		rtscts   = flag.Bool("rtscts", false, "enable the RTS/CTS exchange")
 		errRate  = flag.Float64("error-rate", 0, "i.i.d. data frame error rate in [0,1)")
 		traceOut = flag.String("trace", "", "write a JSONL frame capture to this file")
+		fast     = flag.Bool("fast", false, "engine-speed mode: print wall-clock time and events/sec alongside the summary")
 	)
 	flag.Parse()
 
@@ -69,7 +71,9 @@ func main() {
 		}
 	}
 
+	start := time.Now()
 	res, err := wlan.Run(cfg)
+	wall := time.Since(start)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -90,6 +94,11 @@ func main() {
 	fmt.Printf("idle slots  %.2f per transmission\n", res.APIdleSlots)
 	fmt.Printf("fairness    Jain %.4f (weighted %.4f)\n", res.JainIndex(), res.WeightedJainIndex())
 	fmt.Printf("events      %d\n", res.EventsFired)
+	if *fast {
+		fmt.Printf("wall        %v\n", wall.Round(time.Microsecond))
+		fmt.Printf("events/sec  %.0f\n", float64(res.EventsFired)/wall.Seconds())
+		fmt.Printf("speedup     %.0fx real time\n", duration.Seconds()/wall.Seconds())
+	}
 
 	if *perNode {
 		fmt.Println("\nstation  weight  Mbps      successes  failures")

@@ -1,0 +1,93 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/slotsim"
+	"repro/internal/topo"
+)
+
+// The two engines model the same physics on connected topologies: slotsim
+// advances a global Bianchi-style slot clock, eventsim tracks continuous
+// per-station carrier sense. On a matched fully-connected p-persistent
+// configuration their saturation throughput must agree — this is the
+// repo's strongest cross-validation, since the engines share no code
+// above the policy layer.
+func TestCrossSimulatorAgreementConnected(t *testing.T) {
+	phy := model.PaperPHY()
+	duration := 20 * sim.Second
+	if testing.Short() {
+		duration = 8 * sim.Second
+	}
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{
+		{10, 0.05},
+		{20, 0.02},
+		{40, 0.01},
+	} {
+		build := func() []mac.Policy {
+			ps := make([]mac.Policy, tc.n)
+			for i := range ps {
+				ps[i] = mac.NewPPersistent(1, tc.p)
+			}
+			return ps
+		}
+		ev, err := New(Config{
+			PHY:      phy,
+			Topology: topo.New(topo.Point{}, topo.CircleEdge(tc.n, 8), topo.PaperRadii()),
+			Policies: build(),
+			Seed:     11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evRes := ev.Run(duration)
+
+		sl, err := slotsim.New(slotsim.Config{PHY: phy, Policies: build(), Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slRes := sl.Run(duration)
+
+		rel := math.Abs(evRes.Throughput-slRes.Throughput) / slRes.Throughput
+		if rel > 0.05 {
+			t.Errorf("N=%d p=%v: eventsim %.3f Mbps vs slotsim %.3f Mbps differ by %.1f%% (> 5%%)",
+				tc.n, tc.p, evRes.Throughput/1e6, slRes.Throughput/1e6, 100*rel)
+		}
+
+		// Airtime conservation, slotsim side: the clock decomposes
+		// exactly into idle·σ + successes·Ts + collisions·Tc.
+		accounted := sim.Duration(slRes.IdleSlots)*phy.Slot +
+			sim.Duration(slRes.Successes)*phy.Ts() +
+			sim.Duration(slRes.Collisions)*phy.Tc()
+		if accounted != slRes.Duration {
+			t.Errorf("N=%d p=%v: slotsim airtime %v ≠ duration %v", tc.n, tc.p, accounted, slRes.Duration)
+		}
+
+		// Airtime conservation, eventsim side: every success occupies a
+		// full Ts of air, so successful airtime can never exceed the run
+		// duration; and delivered bits must equal successes × payload
+		// exactly (no payload created or destroyed).
+		if busy := sim.Duration(evRes.Successes) * phy.Ts(); busy > evRes.Duration {
+			t.Errorf("N=%d p=%v: eventsim successful airtime %v exceeds duration %v", tc.n, tc.p, busy, evRes.Duration)
+		}
+		var stationBits, stationSucc int64
+		for _, st := range evRes.Stations {
+			stationBits += st.BitsDelivered
+			stationSucc += st.Successes
+		}
+		if stationSucc != evRes.Successes {
+			t.Errorf("N=%d p=%v: per-station successes %d ≠ total %d", tc.n, tc.p, stationSucc, evRes.Successes)
+		}
+		if stationBits != evRes.Successes*int64(phy.Payload) {
+			t.Errorf("N=%d p=%v: delivered bits %d ≠ successes·payload %d",
+				tc.n, tc.p, stationBits, evRes.Successes*int64(phy.Payload))
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package eventsim
+
+import (
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// The per-frame path — backoff countdown, transmission launch and
+// completion, ACK exchange, contention restart — must be allocation-free
+// once the event pool, transmission pool and air-state slices have warmed
+// up. The controller window is pushed beyond the horizon so the test
+// isolates the frame lifecycle (series appends are measured windows, not
+// per-frame work).
+func TestPerFramePathZeroAllocSteadyState(t *testing.T) {
+	const n = 10
+	policies := make([]mac.Policy, n)
+	for i := range policies {
+		policies[i] = mac.NewStandardDCF(16, 1024)
+	}
+	s, err := New(Config{
+		Topology:     topo.New(topo.Point{}, topo.CircleEdge(n, 8), topo.PaperRadii()),
+		Policies:     policies,
+		UpdatePeriod: 1000 * sim.Second,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2 * sim.Second) // warm every pool
+	next := s.sched.Now()
+	if avg := testing.AllocsPerRun(50, func() {
+		next = next.Add(20 * sim.Millisecond)
+		s.sched.RunUntil(next)
+	}); avg != 0 {
+		t.Errorf("per-frame path allocates %.2f allocs per 20 ms of simulated time, want 0", avg)
+	}
+	if s.successes == 0 {
+		t.Fatal("simulation made no progress")
+	}
+}
+
+// The p-persistent path additionally exercises the batched geometric
+// draw; it must be allocation-free too (the FloatBatch buffer lives
+// inside the policy value).
+func TestPerFramePathZeroAllocPPersistent(t *testing.T) {
+	const n = 20
+	policies := make([]mac.Policy, n)
+	for i := range policies {
+		policies[i] = mac.NewPPersistent(1, 0.02)
+	}
+	s, err := New(Config{
+		Topology:     topo.New(topo.Point{}, topo.CircleEdge(n, 8), topo.PaperRadii()),
+		Policies:     policies,
+		UpdatePeriod: 1000 * sim.Second,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2 * sim.Second)
+	next := s.sched.Now()
+	if avg := testing.AllocsPerRun(50, func() {
+		next = next.Add(20 * sim.Millisecond)
+		s.sched.RunUntil(next)
+	}); avg != 0 {
+		t.Errorf("p-persistent per-frame path allocates %.2f allocs per 20 ms, want 0", avg)
+	}
+}

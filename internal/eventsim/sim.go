@@ -24,8 +24,6 @@ type transmission struct {
 	start    sim.Time
 	end      sim.Time
 	collided bool
-	// reserved marks a data frame sent inside an RTS/CTS reservation.
-	reserved bool
 }
 
 // Simulator is a single WLAN run: N stations, one AP, one channel.
@@ -56,7 +54,28 @@ type Simulator struct {
 	control    frame.Control
 	beaconSeq  uint16
 	beaconDue  bool
-	beaconWait *sim.Event // pending PIFS countdown to a beacon
+	beaconWait sim.Ref // pending PIFS countdown to a beacon
+
+	// Pre-bound event callbacks. Binding once in New and scheduling via
+	// AtArg/AfterArg keeps the per-frame path free of closure
+	// allocations: each schedule passes an existing func value plus a
+	// pointer argument, neither of which escapes to the heap.
+	txBeginFn      func(any)
+	txCompleteFn   func(any)
+	failTimeoutFn  func(any)
+	ctsBeginFn     func(any)
+	ctsEndFn       func(any)
+	reservedDataFn func(any)
+	ackBeginFn     func(any)
+	ackEndFn       func(any)
+	windowFn       func(any)
+	beaconTickFn   func(any)
+	beaconTxFn     func(any)
+	beaconEndFn    func(any)
+
+	// txPool recycles transmission records so the steady-state frame
+	// lifecycle allocates nothing.
+	txPool []*transmission
 
 	throughputSeries stats.TimeSeries
 	controlSeries    stats.TimeSeries
@@ -86,6 +105,18 @@ func New(cfg Config) (*Simulator, error) {
 	s.throughputSeries.Name = "throughput"
 	s.controlSeries.Name = "control"
 	s.activeSeries.Name = "active"
+	s.txBeginFn = func(a any) { s.txBegin(a.(*station)) }
+	s.txCompleteFn = func(a any) { s.txComplete(a.(*transmission)) }
+	s.failTimeoutFn = func(a any) { s.failTimeout(a.(*station)) }
+	s.ctsBeginFn = func(a any) { s.ctsBegin(a.(*station)) }
+	s.ctsEndFn = func(a any) { s.ctsEnd(a.(*station)) }
+	s.reservedDataFn = func(a any) { s.reservedData(a.(*station)) }
+	s.ackBeginFn = func(a any) { s.ackBegin(a.(*station)) }
+	s.ackEndFn = func(a any) { s.ackEnd(a.(*station)) }
+	s.windowFn = func(any) { s.controllerWindow() }
+	s.beaconTickFn = func(any) { s.beaconTick() }
+	s.beaconTxFn = func(any) { s.beaconTx() }
+	s.beaconEndFn = func(any) { s.beaconEnd() }
 	if cfg.Controller != nil {
 		s.control = cfg.Controller.Control()
 	}
@@ -167,10 +198,8 @@ func (s *Simulator) deactivateNow(st *station) {
 	switch st.state {
 	case stateInactive:
 	case stateContending:
-		if st.txStart != nil {
-			st.txStart.Cancel()
-			st.txStart = nil
-		}
+		st.txStart.Cancel()
+		st.txStart = sim.Ref{}
 		st.state = stateInactive
 	default:
 		// Mid-transmission or awaiting ACK: finish the exchange first.
@@ -200,7 +229,7 @@ func (s *Simulator) armCountdown(st *station) {
 	}
 	at := base.Add(sim.Duration(st.remaining) * s.cfg.PHY.Slot)
 	st.runStart = base
-	st.txStart = s.sched.At(at, func() { s.txBegin(st) })
+	st.txStart = s.sched.AtArg(at, s.txBeginFn, st)
 }
 
 // onBusyStart informs st that a transmission it senses has started.
@@ -217,7 +246,7 @@ func (s *Simulator) onBusyStart(st *station) {
 		}
 		st.senseIdleOpen = false
 	}
-	if st.state != stateContending || st.txStart == nil {
+	if st.state != stateContending || !st.txStart.Active() {
 		return
 	}
 	if st.txStart.At() == now {
@@ -237,7 +266,7 @@ func (s *Simulator) onBusyStart(st *station) {
 	}
 	st.remaining -= elapsed
 	st.txStart.Cancel()
-	st.txStart = nil
+	st.txStart = sim.Ref{}
 }
 
 // observeIdleGap feeds a medium-observing policy (IdleSense) the idle gap
@@ -269,7 +298,7 @@ func (s *Simulator) onBusyEnd(st *station) {
 	st.idleSince = now
 	st.senseIdleOpen = true
 	st.senseIdleStart = now
-	if st.state == stateContending && st.txStart == nil {
+	if st.state == stateContending && !st.txStart.Active() {
 		// p-persistent backoff has no memory across busy periods: the
 		// first slot after the resumption is an ordinary Bernoulli(p)
 		// slot, so redraw instead of resuming the frozen residual
@@ -282,9 +311,30 @@ func (s *Simulator) onBusyEnd(st *station) {
 	}
 }
 
+// newTransmission takes a recycled record from the pool, or allocates
+// while the pool warms up.
+func (s *Simulator) newTransmission() *transmission {
+	if n := len(s.txPool); n > 0 {
+		rec := s.txPool[n-1]
+		s.txPool[n-1] = nil
+		s.txPool = s.txPool[:n-1]
+		*rec = transmission{}
+		return rec
+	}
+	return &transmission{}
+}
+
+// freeTransmission recycles a record once txComplete has consumed it. No
+// reference survives: the record has been removed from s.active and its
+// scheduler event has already fired.
+func (s *Simulator) freeTransmission(rec *transmission) {
+	rec.st = nil
+	s.txPool = append(s.txPool, rec)
+}
+
 // txBegin puts st's data frame on the air.
 func (s *Simulator) txBegin(st *station) {
-	st.txStart = nil
+	st.txStart = sim.Ref{}
 	if st.state != stateContending {
 		return
 	}
@@ -303,7 +353,9 @@ func (s *Simulator) txBegin(st *station) {
 		kind = kindRTS
 		airtime = s.cfg.PHY.RTSTxTime()
 	}
-	s.launch(&transmission{st: st, kind: kind, start: now, end: now.Add(airtime)})
+	rec := s.newTransmission()
+	rec.st, rec.kind, rec.start, rec.end = st, kind, now, now.Add(airtime)
+	s.launch(rec)
 }
 
 // launch puts a station frame on the air, applying the paper's collision
@@ -327,7 +379,7 @@ func (s *Simulator) launch(rec *transmission) {
 	for _, j := range s.sensedBy[rec.st.id] {
 		s.onBusyStart(s.stations[j])
 	}
-	s.sched.At(rec.end, func() { s.txComplete(rec) })
+	s.sched.AtArg(rec.end, s.txCompleteFn, rec)
 }
 
 // txComplete removes the frame from the air and routes to the ACK or
@@ -341,6 +393,11 @@ func (s *Simulator) txComplete(rec *transmission) {
 			break
 		}
 	}
+	// The record is now unreachable (out of s.active, its completion
+	// event fired); consume its fields and recycle it before the state
+	// machinery below can schedule follow-ups.
+	kind, collided := rec.kind, rec.collided
+	s.freeTransmission(rec)
 	s.apBusyEnd(now)
 	for _, j := range s.sensedBy[st.id] {
 		s.onBusyEnd(s.stations[j])
@@ -353,20 +410,20 @@ func (s *Simulator) txComplete(rec *transmission) {
 		st.senseIdleOpen = true
 		st.senseIdleStart = now
 	}
-	if rec.kind == kindRTS {
+	if kind == kindRTS {
 		if s.cfg.Trace != nil {
 			wire := frame.Marshal(&frame.RTS{
 				Source:   frame.Address(st.id),
 				Duration: uint16(s.navDuration() / sim.Microsecond),
 			})
-			s.cfg.Trace.Frame(now, wire, rec.collided)
+			s.cfg.Trace.Frame(now, wire, collided)
 		}
-		if rec.collided {
+		if collided {
 			s.collisions++
-			s.sched.After(s.cfg.PHY.ACKTimeout(), func() { s.failTimeout(st) })
+			s.sched.AfterArg(s.cfg.PHY.ACKTimeout(), s.failTimeoutFn, st)
 			return
 		}
-		s.sched.After(s.cfg.PHY.SIFS, func() { s.ctsBegin(st) })
+		s.sched.AfterArg(s.cfg.PHY.SIFS, s.ctsBeginFn, st)
 		return
 	}
 	if s.cfg.Trace != nil {
@@ -377,11 +434,11 @@ func (s *Simulator) txComplete(rec *transmission) {
 			Retry:       st.retries,
 			Bits:        s.cfg.PHY.Payload,
 		})
-		s.cfg.Trace.Frame(now, wire, rec.collided)
+		s.cfg.Trace.Frame(now, wire, collided)
 	}
-	if rec.collided {
+	if collided {
 		s.collisions++
-		s.sched.After(s.cfg.PHY.ACKTimeout(), func() { s.failTimeout(st) })
+		s.sched.AfterArg(s.cfg.PHY.ACKTimeout(), s.failTimeoutFn, st)
 		return
 	}
 	// Footnote 1: i.i.d. channel errors on data frames. The frame is
@@ -389,11 +446,11 @@ func (s *Simulator) txComplete(rec *transmission) {
 	// loss from a collision and takes the same failure path.
 	if s.cfg.FrameErrorRate > 0 && s.rootRNG.Bernoulli(s.cfg.FrameErrorRate) {
 		s.frameErrors++
-		s.sched.After(s.cfg.PHY.ACKTimeout(), func() { s.failTimeout(st) })
+		s.sched.AfterArg(s.cfg.PHY.ACKTimeout(), s.failTimeoutFn, st)
 		return
 	}
 	s.ackPending = true
-	s.sched.After(s.cfg.PHY.SIFS, func() { s.ackBegin(st) })
+	s.sched.AfterArg(s.cfg.PHY.SIFS, s.ackBeginFn, st)
 }
 
 // navDuration is the medium reservation a CTS announces: the remainder of
@@ -416,7 +473,7 @@ func (s *Simulator) ctsBegin(target *station) {
 	for _, st := range s.stations {
 		s.onBusyStart(st)
 	}
-	s.sched.After(s.cfg.PHY.CTSTxTime(), func() { s.ctsEnd(target) })
+	s.sched.AfterArg(s.cfg.PHY.CTSTxTime(), s.ctsEndFn, target)
 }
 
 // ctsEnd completes the CTS: every station that could decode it arms its
@@ -447,12 +504,15 @@ func (s *Simulator) ctsEnd(target *station) {
 		s.onBusyStart(st)
 		navved = append(navved, st)
 	}
+	// The navved closure is the one remaining per-exchange allocation on
+	// the RTS/CTS path; reservations are rare relative to data frames
+	// and overlapping NAV windows make a shared scratch buffer unsafe.
 	s.sched.After(s.navDuration(), func() {
 		for _, st := range navved {
 			s.onBusyEnd(st)
 		}
 	})
-	s.sched.After(s.cfg.PHY.SIFS, func() { s.reservedData(target) })
+	s.sched.AfterArg(s.cfg.PHY.SIFS, s.reservedDataFn, target)
 }
 
 // reservedData transmits the data frame inside an RTS/CTS reservation.
@@ -462,13 +522,10 @@ func (s *Simulator) reservedData(st *station) {
 	}
 	now := s.sched.Now()
 	st.state = stateTransmitting
-	s.launch(&transmission{
-		st:       st,
-		kind:     kindData,
-		reserved: true,
-		start:    now,
-		end:      now.Add(s.cfg.PHY.DataTxTime()),
-	})
+	rec := s.newTransmission()
+	rec.st, rec.kind = st, kindData
+	rec.start, rec.end = now, now.Add(s.cfg.PHY.DataTxTime())
+	s.launch(rec)
 }
 
 // ackBegin starts the AP's acknowledgement.
@@ -487,7 +544,7 @@ func (s *Simulator) ackBegin(target *station) {
 	for _, st := range s.stations {
 		s.onBusyStart(st)
 	}
-	s.sched.After(s.cfg.PHY.ACKTxTime(), func() { s.ackEnd(target) })
+	s.sched.AfterArg(s.cfg.PHY.ACKTxTime(), s.ackEndFn, target)
 }
 
 // ackEnd completes a successful exchange: deliver the ACK (with the
@@ -563,10 +620,8 @@ func (s *Simulator) apBusyStart(now sim.Time) {
 	s.apBusy++
 	if s.apBusy == 1 {
 		s.apIdle.MediumBusy(now)
-		if s.beaconWait != nil {
-			s.beaconWait.Cancel()
-			s.beaconWait = nil
-		}
+		s.beaconWait.Cancel()
+		s.beaconWait = sim.Ref{}
 	}
 }
 
@@ -593,7 +648,7 @@ func (s *Simulator) controllerWindow() {
 		s.controlSeries.Append(now, s.controlValue())
 	}
 	s.windowMeter.ResetWindow(now)
-	s.sched.After(s.cfg.UpdatePeriod, s.controllerWindow)
+	s.sched.AfterArg(s.cfg.UpdatePeriod, s.windowFn, nil)
 }
 
 // controlValue extracts the tuned variable for the convergence series:
@@ -614,7 +669,7 @@ func (s *Simulator) controlValue() float64 {
 func (s *Simulator) beaconTick() {
 	s.beaconDue = true
 	s.tryBeacon()
-	s.sched.After(s.cfg.BeaconInterval, s.beaconTick)
+	s.sched.AfterArg(s.cfg.BeaconInterval, s.beaconTickFn, nil)
 }
 
 // tryBeacon arms a PIFS countdown towards a beacon transmission when one
@@ -623,15 +678,15 @@ func (s *Simulator) beaconTick() {
 // so control information keeps flowing even during collision collapse,
 // when no ACKs exist to carry it.
 func (s *Simulator) tryBeacon() {
-	if !s.beaconDue || s.beaconWait != nil || s.apTx || s.ackPending || s.apBusy > 0 {
+	if !s.beaconDue || s.beaconWait.Active() || s.apTx || s.ackPending || s.apBusy > 0 {
 		return
 	}
-	s.beaconWait = s.sched.After(s.cfg.PHY.PIFS(), s.beaconTx)
+	s.beaconWait = s.sched.AfterArg(s.cfg.PHY.PIFS(), s.beaconTxFn, nil)
 }
 
 // beaconTx puts the beacon on the air.
 func (s *Simulator) beaconTx() {
-	s.beaconWait = nil
+	s.beaconWait = sim.Ref{}
 	s.beaconDue = false
 	now := s.sched.Now()
 	s.apTx = true
@@ -644,19 +699,23 @@ func (s *Simulator) beaconTx() {
 		s.onBusyStart(st)
 	}
 	s.beaconSeq++
-	seq := s.beaconSeq
-	s.sched.After(s.cfg.PHY.ACKTxTime(), func() {
-		s.apTx = false
-		s.apBusyEnd(s.sched.Now())
-		for _, st := range s.stations {
-			s.onBusyEnd(st)
-		}
-		if s.cfg.Trace != nil {
-			wire := frame.Marshal(&frame.Beacon{Sequence: seq, Control: s.control})
-			s.cfg.Trace.Frame(s.sched.Now(), wire, false)
-		}
-		s.broadcastControl()
-	})
+	s.sched.AfterArg(s.cfg.PHY.ACKTxTime(), s.beaconEndFn, nil)
+}
+
+// beaconEnd completes the beacon. Beacons never overlap (tryBeacon bails
+// while apBusy > 0 and beaconDue stays false until the next tick), so
+// s.beaconSeq still identifies the frame that just finished.
+func (s *Simulator) beaconEnd() {
+	s.apTx = false
+	s.apBusyEnd(s.sched.Now())
+	for _, st := range s.stations {
+		s.onBusyEnd(st)
+	}
+	if s.cfg.Trace != nil {
+		wire := frame.Marshal(&frame.Beacon{Sequence: s.beaconSeq, Control: s.control})
+		s.cfg.Trace.Frame(s.sched.Now(), wire, false)
+	}
+	s.broadcastControl()
 }
 
 // Run advances the simulation to the given duration of simulated time
@@ -665,9 +724,9 @@ func (s *Simulator) beaconTx() {
 func (s *Simulator) Run(duration sim.Duration) *Result {
 	end := sim.Time(duration)
 	if s.sched.Fired() == 0 {
-		s.sched.After(s.cfg.UpdatePeriod, s.controllerWindow)
+		s.sched.AfterArg(s.cfg.UpdatePeriod, s.windowFn, nil)
 		if s.cfg.BeaconInterval > 0 {
-			s.sched.After(s.cfg.BeaconInterval, s.beaconTick)
+			s.sched.AfterArg(s.cfg.BeaconInterval, s.beaconTickFn, nil)
 		}
 	}
 	s.sched.RunUntil(end)

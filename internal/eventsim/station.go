@@ -40,10 +40,11 @@ type station struct {
 	remaining int
 	// runStart anchors the current countdown: the station transmits at
 	// runStart + remaining·σ unless the medium goes busy first. Valid
-	// while txStart != nil.
+	// while txStart is active.
 	runStart sim.Time
-	// txStart is the pending transmission-start event.
-	txStart *sim.Event
+	// txStart is the pending transmission-start event. The zero Ref
+	// means no attempt is armed.
+	txStart sim.Ref
 
 	// senseIdleOpen/senseIdleStart track the idle gap this station
 	// observes between sensed transmissions (IdleSense's input).

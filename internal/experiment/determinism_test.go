@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The parallel runner fans simulation cells out across goroutines; cell
+// results must not depend on how the fan-out is scheduled. A table built
+// serially, with a wide worker pool, and under different GOMAXPROCS
+// values must be byte-identical — every cell owns its RNG and scheduler,
+// so the only way this fails is shared mutable state leaking between
+// cells.
+func TestExperimentDeterministicAcrossParallelism(t *testing.T) {
+	o := Options{
+		Duration: 2 * sim.Second,
+		Warmup:   1 * sim.Second,
+		Seeds:    2,
+		Nodes:    []int{5},
+	}
+
+	run := func(parallelism, maxprocs int) string {
+		prev := runtime.GOMAXPROCS(maxprocs)
+		defer runtime.GOMAXPROCS(prev)
+		opts := o
+		opts.Parallelism = parallelism
+		tb, err := Fig3(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.String()
+	}
+
+	serial := run(1, 1)
+	for _, tc := range []struct{ parallelism, maxprocs int }{
+		{8, 1},
+		{1, 4},
+		{8, 4},
+	} {
+		if got := run(tc.parallelism, tc.maxprocs); got != serial {
+			t.Errorf("parallelism=%d GOMAXPROCS=%d diverged from serial run:\n%s\nvs\n%s",
+				tc.parallelism, tc.maxprocs, got, serial)
+		}
+	}
+}

@@ -127,6 +127,12 @@ type PPersistent struct {
 	MinP float64
 
 	p float64 // station attempt probability p_t
+
+	// batch prefetches uniform draws for the geometric backoff. Safe
+	// because a station's policy is the only consumer of its RNG stream
+	// (p-persistent draws nothing on success/failure), so batching
+	// preserves the exact variate sequence of unbatched draws.
+	batch sim.FloatBatch
 }
 
 // NewPPersistent returns a p-persistent policy with the given weight and
@@ -146,8 +152,13 @@ func (p *PPersistent) SetAttemptProbability(v float64) { p.p = clampProb(v, p.Mi
 // AttemptProbability implements AttemptReporter.
 func (p *PPersistent) AttemptProbability() float64 { return p.p }
 
-// NextBackoff implements Policy: geometric with parameter p.
-func (p *PPersistent) NextBackoff(rng *sim.RNG) int { return rng.Geometric(p.p) }
+// NextBackoff implements Policy: geometric with parameter p, drawn
+// through a prefetch batch (p is clamped to (0,1) so every draw consumes
+// exactly one uniform, batched or not).
+func (p *PPersistent) NextBackoff(rng *sim.RNG) int {
+	p.batch.Bind(rng)
+	return sim.GeometricFromUniform(p.batch.Next(), p.p)
+}
 
 // OnSuccess implements Policy; p-persistent state is outcome-independent.
 func (p *PPersistent) OnSuccess(*sim.RNG) {}

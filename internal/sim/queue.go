@@ -1,33 +1,68 @@
 package sim
 
-// Event is a scheduled callback. The callback receives the scheduler so it
-// can schedule follow-up events.
+// Event is a pooled scheduler entry. Events are owned by the Scheduler's
+// free list and recycled after they fire or their cancellation is
+// collected, so callers never hold *Event directly — they hold a Ref,
+// which carries the generation stamp that makes use-after-recycle safe.
 type Event struct {
-	at   Time
-	seq  uint64 // FIFO tie-breaker for equal timestamps
-	fn   func()
-	dead bool // set by Cancel; popped events with dead=true are dropped
+	at  Time
+	seq uint64 // FIFO tie-breaker for equal timestamps
 
-	index int // position in the heap, maintained by eventHeap
+	// Exactly one of fn/afn is set. afn carries an explicit argument so
+	// hot-path callers can schedule without allocating a closure per
+	// event (a func value plus a pointer boxed in an interface is
+	// allocation-free; a capturing closure is not).
+	fn  func()
+	afn func(any)
+	arg any
+
+	dead bool   // set via Ref.Cancel; popped dead events are recycled
+	gen  uint32 // incremented on every recycle; Refs must match to act
+	index int   // position in the heap, maintained by eventHeap
 }
 
-// At returns the instant the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// Ref is a generation-checked handle to a scheduled event. The zero Ref
+// is inert: Cancel is a no-op and Active reports false. A Ref outlives
+// its event harmlessly — once the event fires or its cancelled slot is
+// recycled, the generation stamp no longer matches and every method
+// treats the Ref as expired.
+type Ref struct {
+	e   *Event
+	gen uint32
+}
 
-// Cancel marks the event so it will not fire. Cancelling an already-fired
-// or already-cancelled event is a no-op. Cancellation is lazy: the entry
-// stays in the heap and is discarded when popped.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.dead = true
+// Active reports whether the event is still pending: scheduled, not
+// fired, not cancelled.
+func (r Ref) Active() bool { return r.e != nil && r.e.gen == r.gen && !r.e.dead }
+
+// Cancel marks the event so it will not fire. Cancelling an expired Ref
+// (fired, recycled, or zero) is a no-op — the generation check guarantees
+// a stale handle can never kill an unrelated recycled event. Cancellation
+// is lazy: the entry stays in the heap and is recycled when popped.
+func (r Ref) Cancel() {
+	if r.e != nil && r.e.gen == r.gen {
+		r.e.dead = true
 	}
 }
 
-// Cancelled reports whether the event has been cancelled.
-func (e *Event) Cancelled() bool { return e != nil && e.dead }
+// Cancelled reports whether the event was cancelled and its heap slot has
+// not yet been collected. Expired Refs report false.
+func (r Ref) Cancelled() bool { return r.e != nil && r.e.gen == r.gen && r.e.dead }
 
-// eventHeap is a binary min-heap ordered by (at, seq). It implements the
-// operations of container/heap directly to avoid interface boxing on the
+// At returns the instant the event is scheduled for, or 0 if the Ref has
+// expired. Callers that need the distinction should check Active first.
+func (r Ref) At() Time {
+	if r.e != nil && r.e.gen == r.gen {
+		return r.e.at
+	}
+	return 0
+}
+
+// eventHeap is a four-ary min-heap ordered by (at, seq). Four-ary halves
+// the tree depth of a binary heap, so sift-down touches half as many
+// cache lines per pop; the extra sibling comparisons are cheap because
+// all four children share at most two cache lines. It implements the
+// container/heap operations directly to avoid interface boxing on the
 // hot path.
 type eventHeap struct {
 	items []*Event
@@ -62,7 +97,7 @@ func (h *eventHeap) pop() *Event {
 	}
 	top := h.items[0]
 	h.swap(0, n-1)
-	h.items[n-1] = nil // let the GC reclaim the event
+	h.items[n-1] = nil // drop the reference; the scheduler pools the event
 	h.items = h.items[:n-1]
 	if len(h.items) > 0 {
 		h.down(0)
@@ -80,7 +115,7 @@ func (h *eventHeap) peek() *Event {
 
 func (h *eventHeap) up(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) >> 2
 		if !h.less(i, parent) {
 			break
 		}
@@ -92,13 +127,19 @@ func (h *eventHeap) up(i int) {
 func (h *eventHeap) down(i int) {
 	n := len(h.items)
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := i<<2 + 1
+		if first >= n {
 			return
 		}
-		smallest := left
-		if right := left + 1; right < n && h.less(right, left) {
-			smallest = right
+		smallest := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(c, smallest) {
+				smallest = c
+			}
 		}
 		if !h.less(smallest, i) {
 			return

@@ -63,9 +63,22 @@ func (g *RNG) Geometric(p float64) int {
 	if p <= 0 {
 		return math.MaxInt32 // effectively never; callers clamp p away from 0
 	}
-	u := g.r.Float64()
-	// Inverse transform: k = floor(ln(1-u) / ln(1-p)). 1-u is uniform on
-	// (0,1], so the argument of log is never zero.
+	return GeometricFromUniform(g.r.Float64(), p)
+}
+
+// GeometricFromUniform maps one uniform draw u ∈ [0,1) to a Geometric(p)
+// variate by inverse transform: k = floor(ln(1-u) / ln(1-p)). 1-u is
+// uniform on (0,1], so the argument of log is never zero. It consumes
+// exactly the one uniform it is given, so feeding it draws from a
+// FloatBatch yields the identical variate sequence as calling Geometric
+// on the underlying RNG directly.
+func GeometricFromUniform(u, p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return math.MaxInt32
+	}
 	k := math.Floor(math.Log1p(-u) / math.Log1p(-p))
 	if k < 0 {
 		return 0
@@ -74,6 +87,48 @@ func (g *RNG) Geometric(p float64) int {
 		return math.MaxInt32
 	}
 	return int(k)
+}
+
+// floatBatchSize is the FloatBatch prefetch block. 64 draws keep the
+// buffer inside one page and amortise the per-call overhead of the
+// underlying generator without holding a meaningful stake of the stream.
+const floatBatchSize = 64
+
+// FloatBatch prefetches uniform draws from an RNG in blocks, amortising
+// the per-draw call overhead on hot paths that consume one uniform per
+// decision (the backoff draw of p-persistent CSMA). Draws are delivered
+// in exactly the order the RNG would have produced them one at a time, so
+// a consumer that owns its RNG stream gets bit-identical variates whether
+// or not it batches. The zero value is empty and must be Bound before use.
+type FloatBatch struct {
+	rng  *RNG
+	i, n int
+	buf  [floatBatchSize]float64
+}
+
+// Bind attaches the batch to rng, discarding any prefetched draws from a
+// previously bound generator. Binding the already-bound generator is a
+// cheap no-op, so callers may Bind defensively on every draw.
+func (b *FloatBatch) Bind(rng *RNG) {
+	if b.rng != rng {
+		b.rng = rng
+		b.i, b.n = 0, 0
+	}
+}
+
+// Next returns the next uniform draw in [0,1), refilling the prefetch
+// buffer from the bound RNG when it runs dry.
+func (b *FloatBatch) Next() float64 {
+	if b.i == b.n {
+		r := b.rng.r
+		for i := range b.buf {
+			b.buf[i] = r.Float64()
+		}
+		b.i, b.n = 0, len(b.buf)
+	}
+	u := b.buf[b.i]
+	b.i++
+	return u
 }
 
 // UniformWindow returns a uniform draw from [0, cw-1], the standard 802.11

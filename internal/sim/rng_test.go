@@ -122,3 +122,68 @@ func TestSplitIndependence(t *testing.T) {
 		t.Errorf("streams for different indices look correlated: %d/64 equal draws", same)
 	}
 }
+
+// Batching must be invisible: a FloatBatch delivers the exact uniform
+// stream of the underlying generator, just prefetched in blocks.
+func TestFloatBatchDeliversRNGStream(t *testing.T) {
+	direct := NewRNG(99)
+	batched := NewRNG(99)
+	var b FloatBatch
+	b.Bind(batched)
+	for i := 0; i < 3*floatBatchSize+7; i++ {
+		if got, want := b.Next(), direct.Float64(); got != want {
+			t.Fatalf("draw %d: batched %v ≠ direct %v", i, got, want)
+		}
+	}
+}
+
+// Geometric draws through a batch must be bit-identical to unbatched
+// Geometric calls — the property that lets PPersistent batch without
+// perturbing simulation results.
+func TestGeometricFromUniformMatchesGeometric(t *testing.T) {
+	for _, p := range []float64{0.001, 0.02, 0.3, 0.999} {
+		direct := NewRNG(5)
+		batched := NewRNG(5)
+		var b FloatBatch
+		b.Bind(batched)
+		for i := 0; i < 2*floatBatchSize; i++ {
+			if got, want := GeometricFromUniform(b.Next(), p), direct.Geometric(p); got != want {
+				t.Fatalf("p=%v draw %d: batched %d ≠ direct %d", p, i, got, want)
+			}
+		}
+	}
+}
+
+func TestGeometricFromUniformEdgeCases(t *testing.T) {
+	if got := GeometricFromUniform(0.5, 1); got != 0 {
+		t.Errorf("p=1: got %d, want 0", got)
+	}
+	if got := GeometricFromUniform(0.5, 1.5); got != 0 {
+		t.Errorf("p>1: got %d, want 0", got)
+	}
+	if got := GeometricFromUniform(0.5, 0); got != 1<<31-1 {
+		t.Errorf("p=0: got %d, want MaxInt32", got)
+	}
+	if got := GeometricFromUniform(0, 0.5); got != 0 {
+		t.Errorf("u=0: got %d, want 0", got)
+	}
+}
+
+// Rebinding a batch to a different generator must discard the stale
+// prefetch; rebinding the same generator must keep it.
+func TestFloatBatchRebind(t *testing.T) {
+	var b FloatBatch
+	first := NewRNG(1)
+	b.Bind(first)
+	b.Next()
+	b.Bind(first) // no-op
+	if b.i == 0 && b.n == 0 {
+		t.Fatal("rebinding the same RNG discarded the prefetch")
+	}
+	second := NewRNG(2)
+	b.Bind(second)
+	want := NewRNG(2)
+	if got := b.Next(); got != want.Float64() {
+		t.Errorf("after rebind, first draw %v does not start second's stream", got)
+	}
+}

@@ -5,6 +5,13 @@ import "fmt"
 // Scheduler is the discrete-event loop: a clock plus a priority queue of
 // events. The zero value is ready to use with the clock at time zero.
 //
+// The scheduler recycles Event objects through an internal free list, so
+// steady-state scheduling performs no heap allocations: After/At reuse a
+// pooled event, and Step returns it to the pool once the callback has been
+// dispatched. Callers interact with events only through generation-checked
+// Refs (see Ref), which makes holding a handle past the event's lifetime
+// safe. See DESIGN.md for the pooling and generation scheme.
+//
 // Scheduler is not safe for concurrent use; a simulation is a single
 // logical thread of control. Run simulations in parallel by creating one
 // Scheduler per goroutine.
@@ -14,6 +21,7 @@ type Scheduler struct {
 	seq    uint64
 	fired  uint64
 	halted bool
+	free   []*Event // recycled events, LIFO for cache warmth
 }
 
 // NewScheduler returns a scheduler with the clock at zero.
@@ -29,24 +37,69 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // cancelled ones that have not yet been discarded.
 func (s *Scheduler) Pending() int { return s.heap.Len() }
 
-// At schedules fn to run at instant t. Scheduling in the past panics: a
-// causality violation is always a programming error in the caller.
-func (s *Scheduler) At(t Time, fn func()) *Event {
+// PoolSize returns the number of recycled events currently in the free
+// list. Exposed for allocation-regression tests.
+func (s *Scheduler) PoolSize() int { return len(s.free) }
+
+func (s *Scheduler) alloc() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &Event{}
+}
+
+// release recycles a popped event. Bumping the generation expires every
+// outstanding Ref before the event can be reused.
+func (s *Scheduler) release(e *Event) {
+	e.gen++
+	e.fn, e.afn, e.arg = nil, nil, nil
+	e.dead = false
+	s.free = append(s.free, e)
+}
+
+func (s *Scheduler) schedule(t Time, fn func(), afn func(any), arg any) Ref {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	e := s.alloc()
+	e.at, e.seq = t, s.seq
+	e.fn, e.afn, e.arg = fn, afn, arg
 	s.seq++
 	s.heap.push(e)
-	return e
+	return Ref{e: e, gen: e.gen}
+}
+
+// At schedules fn to run at instant t. Scheduling in the past panics: a
+// causality violation is always a programming error in the caller.
+func (s *Scheduler) At(t Time, fn func()) Ref {
+	return s.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current time.
-func (s *Scheduler) After(d Duration, fn func()) *Event {
+func (s *Scheduler) After(d Duration, fn func()) Ref {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return s.At(s.now.Add(d), fn)
+}
+
+// AtArg schedules fn(arg) to run at instant t. Unlike At, this form is
+// allocation-free when fn is a pre-bound function value and arg is a
+// pointer: neither boxes a fresh closure. Hot paths (per-frame, per-slot
+// timers) should prefer it.
+func (s *Scheduler) AtArg(t Time, fn func(any), arg any) Ref {
+	return s.schedule(t, nil, fn, arg)
+}
+
+// AfterArg schedules fn(arg) to run d after the current time.
+func (s *Scheduler) AfterArg(d Duration, fn func(any), arg any) Ref {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.AtArg(s.now.Add(d), fn, arg)
 }
 
 // Halt stops the event loop after the currently executing event returns.
@@ -63,11 +116,20 @@ func (s *Scheduler) Step() bool {
 			return false
 		}
 		if e.dead {
+			s.release(e)
 			continue
 		}
 		s.now = e.at
 		s.fired++
-		e.fn()
+		// Copy the dispatch fields and recycle before invoking, so the
+		// callback's own scheduling can reuse this very event.
+		fn, afn, arg := e.fn, e.afn, e.arg
+		s.release(e)
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 }

@@ -70,10 +70,65 @@ func TestSchedulerCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	// Cancelling again must be a no-op, including on nil.
+	// Cancelling again must be a no-op, including on the zero Ref.
 	e.Cancel()
-	var nilEvent *Event
-	nilEvent.Cancel()
+	var zero Ref
+	zero.Cancel()
+	if zero.Active() || zero.Cancelled() {
+		t.Error("zero Ref reports Active or Cancelled")
+	}
+}
+
+// A Ref held past its event's lifetime must expire rather than act on the
+// recycled event: cancelling a stale handle may not kill whatever event
+// now occupies the pooled slot.
+func TestSchedulerStaleRefCannotCancelRecycledEvent(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	stale := s.At(10, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("first event fired %d times, want 1", fired)
+	}
+	if stale.Active() {
+		t.Error("Ref still active after its event fired")
+	}
+	// The pool is LIFO, so this At reuses the event stale points at.
+	next := s.At(20, func() { fired++ })
+	stale.Cancel()
+	if !next.Active() {
+		t.Fatal("stale Cancel killed the recycled event")
+	}
+	if stale.At() != 0 {
+		t.Errorf("stale At() = %v, want 0", stale.At())
+	}
+	s.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d events, want 2 (stale Cancel must be a no-op)", fired)
+	}
+}
+
+// Events must return to the free list after firing or after a cancelled
+// entry is collected, so steady-state scheduling reuses a bounded pool.
+func TestSchedulerPoolRecycles(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 100; i++ {
+		r := s.At(Time(i), func() {})
+		if i%3 == 0 {
+			r.Cancel()
+		}
+	}
+	s.Run()
+	if got := s.PoolSize(); got != 100 {
+		t.Errorf("pool holds %d events after drain, want 100", got)
+	}
+	for i := 0; i < 100; i++ {
+		s.At(s.Now().Add(1), func() {})
+	}
+	if got := s.PoolSize(); got != 0 {
+		t.Errorf("pool holds %d events while 100 are pending, want 0", got)
+	}
+	s.Run()
 }
 
 func TestSchedulerCancelFromEarlierEvent(t *testing.T) {
@@ -193,7 +248,7 @@ func TestSchedulerOrderProperty(t *testing.T) {
 func TestSchedulerCancelProperty(t *testing.T) {
 	prop := func(raw []uint16, cancelMask []bool) bool {
 		s := NewScheduler()
-		events := make([]*Event, len(raw))
+		events := make([]Ref, len(raw))
 		firedCancelled := false
 		var last Time = -1
 		for i, v := range raw {

@@ -1,0 +1,36 @@
+package slotsim
+
+import (
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+// The slotted engine's inner loop — counter scan, idle fast-forward,
+// busy-period accounting, batched backoff redraws — must be
+// allocation-free in steady state. The controller window is pushed beyond
+// the horizon so series appends (per-window, not per-slot work) stay out
+// of the measurement.
+func TestSlotLoopZeroAllocSteadyState(t *testing.T) {
+	const n = 20
+	policies := make([]mac.Policy, n)
+	for i := range policies {
+		policies[i] = mac.NewPPersistent(1, 0.02)
+	}
+	s, err := New(Config{Policies: policies, Seed: 9, UpdatePeriod: 1000 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(sim.Second) // warm the scratch slices and prefetch batches
+	next := sim.Duration(s.now) + 50*sim.Millisecond
+	if avg := testing.AllocsPerRun(50, func() {
+		s.Run(next)
+		next += 50 * sim.Millisecond
+	}); avg != 0 {
+		t.Errorf("slot loop allocates %.2f allocs per 50 ms of simulated time, want 0", avg)
+	}
+	if s.res.Successes == 0 {
+		t.Fatal("simulation made no progress")
+	}
+}

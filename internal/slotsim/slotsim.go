@@ -72,6 +72,10 @@ type Simulator struct {
 	nextWindow  sim.Time
 	control     frame.Control
 
+	// attackerIdx is the per-slot scratch of expired counters, hoisted
+	// here so repeated Run calls stay allocation-free.
+	attackerIdx []int
+
 	res Result
 }
 
@@ -125,26 +129,44 @@ func New(cfg Config) (*Simulator, error) {
 func (s *Simulator) Run(duration sim.Duration) *Result {
 	end := sim.Time(duration)
 	idleRun := int64(0)
-	var attackerIdx []int // scratch, reused across slots
 	for s.now.Before(end) {
-		// Collect stations whose counters expired.
-		attackerIdx = attackerIdx[:0]
+		// Collect stations whose counters expired; track the minimum
+		// surviving counter so idle runs can be fast-forwarded in one
+		// step instead of one slot at a time.
+		s.attackerIdx = s.attackerIdx[:0]
+		minCounter := int(^uint(0) >> 1)
 		for i := range s.stations {
-			if s.stations[i].counter == 0 {
-				attackerIdx = append(attackerIdx, i)
+			c := s.stations[i].counter
+			if c == 0 {
+				s.attackerIdx = append(s.attackerIdx, i)
+			} else if c < minCounter {
+				minCounter = c
 			}
 		}
-		attackers := len(attackerIdx)
+		attackers := len(s.attackerIdx)
 		switch {
 		case attackers == 0:
-			s.res.IdleSlots++
-			idleRun++
-			s.now = s.now.Add(s.cfg.PHY.Slot)
+			// All counters are ≥ 1: the next minCounter slots are idle
+			// by construction. Jump them at once, capped at the next
+			// controller-window boundary so the windowed series closes
+			// at exactly the same instants as the per-slot walk.
+			jump := minCounter
+			if boundary := int((s.nextWindow.Sub(s.now) + s.cfg.PHY.Slot - 1) / s.cfg.PHY.Slot); boundary >= 1 && boundary < jump {
+				jump = boundary
+			}
+			// Cap at the run end too: the per-slot walk stops at the
+			// first slot boundary ≥ end, and Duration must match it.
+			if endSlots := int((end.Sub(s.now) + s.cfg.PHY.Slot - 1) / s.cfg.PHY.Slot); endSlots >= 1 && endSlots < jump {
+				jump = endSlots
+			}
+			s.res.IdleSlots += int64(jump)
+			idleRun += int64(jump)
+			s.now = s.now.Add(sim.Duration(jump) * s.cfg.PHY.Slot)
 			for i := range s.stations {
-				s.stations[i].counter--
+				s.stations[i].counter -= jump
 			}
 		case attackers == 1:
-			winner := attackerIdx[0]
+			winner := s.attackerIdx[0]
 			st := &s.stations[winner]
 			s.observe(idleRun)
 			idleRun = 0
@@ -157,7 +179,7 @@ func (s *Simulator) Run(duration sim.Duration) *Result {
 			st.policy.OnSuccess(st.rng)
 			s.broadcast()
 			s.redraw(winner)
-			s.resume(attackerIdx)
+			s.resume(s.attackerIdx)
 		default:
 			s.observe(idleRun)
 			idleRun = 0
@@ -168,12 +190,12 @@ func (s *Simulator) Run(duration sim.Duration) *Result {
 			// resume. A naive "redraw then resume anything non-zero"
 			// double-draws attackers whose fresh counter came up ≥ 1,
 			// inflating their attempt probability from p to p+(1−p)p.
-			for _, i := range attackerIdx {
+			for _, i := range s.attackerIdx {
 				st := &s.stations[i]
 				st.policy.OnFailure(st.rng)
 				s.redraw(i)
 			}
-			s.resume(attackerIdx)
+			s.resume(s.attackerIdx)
 		}
 		s.maybeCloseWindow()
 	}
