@@ -1,7 +1,12 @@
-// Command wlansim runs a single WLAN simulation and prints a summary.
+// Command wlansim runs WLAN simulations and prints summaries: either a
+// single ad-hoc run assembled from flags, or a declarative scenario file
+// executed through the parallel scenario runner.
 //
 // Examples:
 //
+//	wlansim -scenario examples/hiddennodes.json
+//	wlansim -scenario examples/unsaturated.json -quick -parallel 4
+//	wlansim -scenario examples/capture.json -summary-json out.json
 //	wlansim -scheme wTOP-CSMA -nodes 40 -duration 60s
 //	wlansim -scheme 802.11 -nodes 20 -disc 16 -seed 7 -series
 //	wlansim -scheme wTOP-CSMA -nodes 10 -weights 1,1,1,2,2,2,3,3,3,3
@@ -16,10 +21,17 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/scenario"
 	"repro/wlan"
 )
 
 func main() {
+	var (
+		scenarioPath = flag.String("scenario", "", "run a declarative scenario file (JSON suite or single spec) instead of flag-based config")
+		quick        = flag.Bool("quick", false, "with -scenario: scale the suite for fast runs (3s simulated, ≤2 seeds) — the scale CI pins with golden summaries")
+		parallel     = flag.Int("parallel", 0, "with -scenario: replication worker count (0 = GOMAXPROCS); the aggregate is bit-identical for any value")
+		summaryJSON  = flag.String("summary-json", "", "with -scenario: also write the aggregate summaries as canonical JSON to this file")
+	)
 	var (
 		scheme   = flag.String("scheme", "802.11", "channel access scheme: 802.11, IdleSense, wTOP-CSMA, TORA-CSMA")
 		nodes    = flag.Int("nodes", 20, "number of stations")
@@ -35,6 +47,11 @@ func main() {
 		fast     = flag.Bool("fast", false, "engine-speed mode: print wall-clock time and events/sec alongside the summary")
 	)
 	flag.Parse()
+
+	if *scenarioPath != "" {
+		runScenario(*scenarioPath, *quick, *parallel, *summaryJSON)
+		return
+	}
 
 	var tp *wlan.Topology
 	if *disc > 0 {
@@ -116,6 +133,57 @@ func main() {
 			}
 			fmt.Printf("%-7.2f  %-7.3f  %s\n", at.Seconds(), res.ThroughputSeries.Values[i]/1e6, ctl)
 		}
+	}
+}
+
+// runScenario loads a scenario file, executes every scenario through the
+// parallel runner and prints one summary line each.
+func runScenario(path string, quick bool, parallelism int, summaryPath string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	suite, err := scenario.Decode(data)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if quick {
+		suite = suite.Quick()
+	}
+	name := suite.Name
+	if name == "" {
+		name = path
+	}
+	scale := "full scale"
+	if quick {
+		scale = "quick scale"
+	}
+	fmt.Printf("suite %s: %d scenario(s), %s\n", name, len(suite.Scenarios), scale)
+	start := time.Now()
+	r := scenario.Runner{Parallelism: parallelism}
+	sums, err := r.RunSuite(suite)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, s := range sums {
+		fmt.Println(s)
+	}
+	var events uint64
+	for _, s := range sums {
+		events += s.Events
+	}
+	wall := time.Since(start)
+	fmt.Printf("wall %v  events %d  events/sec %.0f\n",
+		wall.Round(time.Millisecond), events, float64(events)/wall.Seconds())
+	if summaryPath != "" {
+		out, err := scenario.MarshalSummaries(sums)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(summaryPath, out, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("summaries -> %s\n", summaryPath)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/slotsim"
 	"repro/internal/topo"
+	"repro/internal/traffic"
 )
 
 // The two engines model the same physics on connected topologies: slotsim
@@ -88,6 +89,79 @@ func TestCrossSimulatorAgreementConnected(t *testing.T) {
 		if stationBits != evRes.Successes*int64(phy.Payload) {
 			t.Errorf("N=%d p=%v: delivered bits %d ≠ successes·payload %d",
 				tc.n, tc.p, stationBits, evRes.Successes*int64(phy.Payload))
+		}
+	}
+}
+
+// The unsaturated counterpart: on a matched fully-connected p-persistent
+// configuration with per-station Poisson sources well below saturation,
+// both engines must serve (essentially) the entire offered load, so
+// their throughputs agree with each other and with λ·n·EP. This pins the
+// arrival-process plumbing of both engines against the same external
+// truth, exactly as the saturated case pins the contention machinery.
+func TestCrossSimulatorAgreementPoisson(t *testing.T) {
+	phy := model.PaperPHY()
+	duration := 20 * sim.Second
+	if testing.Short() {
+		duration = 8 * sim.Second
+	}
+	for _, tc := range []struct {
+		n    int
+		p    float64
+		rate float64 // packets/s per station
+	}{
+		{10, 0.05, 100}, // 8 Mbps aggregate, ~30% of capacity
+		{20, 0.02, 40},  // 6.4 Mbps aggregate
+	} {
+		build := func() ([]mac.Policy, []traffic.Spec) {
+			ps := make([]mac.Policy, tc.n)
+			arr := make([]traffic.Spec, tc.n)
+			for i := range ps {
+				ps[i] = mac.NewPPersistent(1, tc.p)
+				arr[i] = traffic.Spec{Kind: traffic.Poisson, Rate: tc.rate}
+			}
+			return ps, arr
+		}
+		pols, arr := build()
+		ev, err := New(Config{
+			PHY:      phy,
+			Topology: topo.New(topo.Point{}, topo.CircleEdge(tc.n, 8), topo.PaperRadii()),
+			Policies: pols,
+			Arrivals: arr,
+			Seed:     11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evRes := ev.Run(duration)
+
+		pols, arr = build()
+		sl, err := slotsim.New(slotsim.Config{PHY: phy, Policies: pols, Arrivals: arr, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slRes := sl.Run(duration)
+
+		offered := float64(tc.n) * tc.rate * float64(phy.Payload)
+		for _, eng := range []struct {
+			name string
+			got  float64
+		}{
+			{"eventsim", evRes.Throughput},
+			{"slotsim", slRes.Throughput},
+		} {
+			if rel := math.Abs(eng.got-offered) / offered; rel > 0.05 {
+				t.Errorf("N=%d rate=%v: %s throughput %.3f Mbps vs offered %.3f Mbps (off %.1f%%)",
+					tc.n, tc.rate, eng.name, eng.got/1e6, offered/1e6, 100*rel)
+			}
+		}
+		if rel := math.Abs(evRes.Throughput-slRes.Throughput) / slRes.Throughput; rel > 0.05 {
+			t.Errorf("N=%d rate=%v: eventsim %.3f Mbps vs slotsim %.3f Mbps differ by %.1f%% (> 5%%)",
+				tc.n, tc.rate, evRes.Throughput/1e6, slRes.Throughput/1e6, 100*rel)
+		}
+		if evRes.PacketsDropped != 0 || slRes.PacketsDropped != 0 {
+			t.Errorf("N=%d rate=%v: stable underloaded queues dropped packets (%d/%d)",
+				tc.n, tc.rate, evRes.PacketsDropped, slRes.PacketsDropped)
 		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/traffic"
 )
 
 // Config assembles a simulation run.
@@ -71,6 +72,13 @@ type Config struct {
 	// Trace, when non-nil, receives an encoded copy of every frame as
 	// it ends (successfully or not) — the simulator's packet capture.
 	Trace Tracer
+	// Arrivals describes each station's packet arrival process, in
+	// station-index order. Nil means every station is saturated (the
+	// paper's regime, bit-identical to pre-Arrivals behaviour); when
+	// set, the length must equal Topology.N(). Unsaturated stations
+	// contend only while their queue is non-empty, and every delivered
+	// packet's arrival→ACK latency feeds the Result's latency histogram.
+	Arrivals []traffic.Spec
 }
 
 // withDefaults validates the configuration and fills defaults.
@@ -115,6 +123,16 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.FrameErrorRate < 0 || c.FrameErrorRate >= 1 {
 		return c, fmt.Errorf("eventsim: FrameErrorRate %v outside [0,1)", c.FrameErrorRate)
+	}
+	if c.Arrivals != nil {
+		if len(c.Arrivals) != c.Topology.N() {
+			return c, fmt.Errorf("eventsim: %d arrival specs for %d stations", len(c.Arrivals), c.Topology.N())
+		}
+		for i, a := range c.Arrivals {
+			if err := a.Validate(); err != nil {
+				return c, fmt.Errorf("eventsim: station %d: %w", i, err)
+			}
+		}
 	}
 	return c, nil
 }

@@ -41,6 +41,29 @@ type Result struct {
 	ActiveSeries stats.TimeSeries
 	// EventsFired counts kernel events, for performance reporting.
 	EventsFired uint64
+	// Latency is the histogram of delivered-packet delays: from packet
+	// arrival (saturated sources: the instant the packet became
+	// head-of-line) to ACK completion. Use Quantile for percentiles.
+	Latency stats.DurationHist
+	// JitterSum and JitterCount accumulate |ΔL| between consecutive
+	// deliveries of the same station, summed across stations; their
+	// ratio (JitterMean) is an RFC 3550-style delay-variation measure.
+	// Kept as sums so replications aggregate exactly.
+	JitterSum   sim.Duration
+	JitterCount int64
+	// PacketsArrived and PacketsDropped count offered packets and
+	// queue-overflow losses across all unsaturated traffic sources
+	// (both zero in the saturated regime).
+	PacketsArrived, PacketsDropped int64
+}
+
+// JitterMean returns the mean absolute latency difference between
+// consecutive deliveries, 0 with fewer than two deliveries anywhere.
+func (r *Result) JitterMean() sim.Duration {
+	if r.JitterCount == 0 {
+		return 0
+	}
+	return r.JitterSum / sim.Duration(r.JitterCount)
 }
 
 // ThroughputMbps returns the run throughput in Mbit/s.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/traffic"
 )
 
 // txKind distinguishes the frame classes stations put on the air.
@@ -72,6 +73,8 @@ type Simulator struct {
 	beaconTickFn   func(any)
 	beaconTxFn     func(any)
 	beaconEndFn    func(any)
+	arrivalFn      func(any)
+	phaseFn        func(any)
 
 	// txPool recycles transmission records so the steady-state frame
 	// lifecycle allocates nothing.
@@ -83,6 +86,16 @@ type Simulator struct {
 
 	successes  int64
 	collisions int64
+
+	// Traffic accounting. unsaturated is true when any station has a
+	// finite-load arrival process; the latency histogram and jitter
+	// accumulators aggregate delivered-packet delays across stations.
+	unsaturated   bool
+	latHist       stats.DurationHist
+	jitterSum     sim.Duration
+	jitterCount   int64
+	totalArrivals int64
+	totalDrops    int64
 
 	// maxConcurrent tracks the peak number of simultaneous data frames,
 	// a cheap invariant probe (must stay ≥ 2 only when hidden pairs or
@@ -117,6 +130,8 @@ func New(cfg Config) (*Simulator, error) {
 	s.beaconTickFn = func(any) { s.beaconTick() }
 	s.beaconTxFn = func(any) { s.beaconTx() }
 	s.beaconEndFn = func(any) { s.beaconEnd() }
+	s.arrivalFn = func(a any) { s.arrival(a.(*station)) }
+	s.phaseFn = func(a any) { s.phaseFlip(a.(*station)) }
 	if cfg.Controller != nil {
 		s.control = cfg.Controller.Control()
 	}
@@ -135,6 +150,23 @@ func New(cfg Config) (*Simulator, error) {
 		}
 		s.stations[i] = st
 		s.sensedBy[i] = cfg.Topology.SensedBy(i)
+	}
+	if cfg.Arrivals != nil {
+		for i, st := range s.stations {
+			st.arr = cfg.Arrivals[i]
+			if st.arr.Unsaturated() {
+				s.unsaturated = true
+			}
+		}
+		// Arrival processes get dedicated substreams, split only when an
+		// unsaturated source exists: an all-saturated configuration must
+		// leave the root stream untouched and stay bit-identical to a
+		// nil-Arrivals run.
+		if s.unsaturated {
+			for i, st := range s.stations {
+				st.arrivalRNG = root.Split(int64(n + i))
+			}
+		}
 	}
 	s.apIdle.MediumIdle(0)
 	for i := 0; i < cfg.InitialActive; i++ {
@@ -181,22 +213,61 @@ func (s *Simulator) SetActiveAt(t sim.Time, n int) error {
 func (s *Simulator) activateNow(st *station) {
 	st.deferredStop = false
 	if st.state != stateInactive {
+		// Reactivated while its deferred-stop exchange is still in
+		// flight: deactivateNow already silenced the arrival process, so
+		// restart it or the station would drain its queue and then idle
+		// forever while nominally active.
+		if st.arr.Unsaturated() && !st.nextArrival.Active() && !st.phaseRef.Active() {
+			s.startTrafficSource(st)
+		}
 		return
 	}
-	st.state = stateContending
+	now := s.sched.Now()
 	// A newly active station has no countdown anchor yet; start a fresh
 	// idle view of the medium from "now".
 	if st.busyCount == 0 {
-		st.idleSince = s.sched.Now()
+		st.idleSince = now
 		st.senseIdleOpen = true
-		st.senseIdleStart = s.sched.Now()
+		st.senseIdleStart = now
 	}
+	if st.arr.Unsaturated() {
+		// Unsaturated sources start their arrival process and contend
+		// only once a packet exists. A queue surviving an earlier
+		// deactivation resumes service.
+		s.startTrafficSource(st)
+		if st.queue.len() > 0 {
+			s.startContention(st)
+		} else {
+			st.state = stateIdle
+		}
+		return
+	}
+	st.state = stateContending
+	st.holSince = now
 	s.startContention(st)
 }
 
+// startTrafficSource (re)arms an unsaturated station's arrival process:
+// OnOff sources begin in an On phase.
+func (s *Simulator) startTrafficSource(st *station) {
+	st.trafficOn = true
+	if st.arr.Kind == traffic.OnOff {
+		st.phaseRef = s.sched.AfterArg(st.arr.NextPhase(true, st.arrivalRNG), s.phaseFn, st)
+	}
+	s.scheduleArrival(st)
+}
+
 func (s *Simulator) deactivateNow(st *station) {
+	// Arrivals stop immediately on departure, whatever the MAC state.
+	st.nextArrival.Cancel()
+	st.nextArrival = sim.Ref{}
+	st.phaseRef.Cancel()
+	st.phaseRef = sim.Ref{}
+	st.trafficOn = false
 	switch st.state {
 	case stateInactive:
+	case stateIdle:
+		st.state = stateInactive
 	case stateContending:
 		st.txStart.Cancel()
 		st.txStart = sim.Ref{}
@@ -205,6 +276,69 @@ func (s *Simulator) deactivateNow(st *station) {
 		// Mid-transmission or awaiting ACK: finish the exchange first.
 		st.deferredStop = true
 	}
+}
+
+// scheduleArrival arms the next packet-arrival event while the source is
+// emitting.
+func (s *Simulator) scheduleArrival(st *station) {
+	if !st.trafficOn {
+		return
+	}
+	st.nextArrival = s.sched.AfterArg(st.arr.NextInterArrival(st.arrivalRNG), s.arrivalFn, st)
+}
+
+// arrival delivers one packet to st's queue, dropping it when the queue
+// is at capacity, and wakes the station if it was idling.
+func (s *Simulator) arrival(st *station) {
+	st.nextArrival = sim.Ref{}
+	if st.state == stateInactive {
+		return // defensive: arrivals are cancelled on deactivation
+	}
+	st.arrivals++
+	s.totalArrivals++
+	if st.queue.len() >= st.arr.EffectiveQueueCap() {
+		st.drops++
+		s.totalDrops++
+	} else {
+		st.queue.push(s.sched.Now())
+		if st.state == stateIdle {
+			s.startContention(st)
+		}
+	}
+	s.scheduleArrival(st)
+}
+
+// phaseFlip toggles an OnOff source between emitting and silent phases.
+func (s *Simulator) phaseFlip(st *station) {
+	st.phaseRef = sim.Ref{}
+	if st.state == stateInactive {
+		return
+	}
+	st.trafficOn = !st.trafficOn
+	if st.trafficOn {
+		s.scheduleArrival(st)
+	} else {
+		st.nextArrival.Cancel()
+		st.nextArrival = sim.Ref{}
+	}
+	st.phaseRef = s.sched.AfterArg(st.arr.NextPhase(st.trafficOn, st.arrivalRNG), s.phaseFn, st)
+}
+
+// recordLatency accounts one delivered packet's arrival→ACK delay into
+// the per-station and aggregate latency/jitter statistics.
+func (s *Simulator) recordLatency(st *station, lat sim.Duration) {
+	s.latHist.Observe(lat)
+	st.latSum += lat
+	if st.latCount > 0 {
+		d := lat - st.lastLat
+		if d < 0 {
+			d = -d
+		}
+		s.jitterSum += d
+		s.jitterCount++
+	}
+	st.lastLat = lat
+	st.latCount++
 }
 
 // startContention draws a fresh backoff and arms the countdown.
@@ -578,11 +712,24 @@ func (s *Simulator) ackEnd(target *station) {
 	// broadcast reaches everyone, as wTOP-CSMA requires.
 	s.broadcastControl()
 
+	// Per-packet latency: from arrival (saturated sources: the instant
+	// the packet became head-of-line) to ACK completion.
+	if target.arr.Unsaturated() {
+		s.recordLatency(target, now.Sub(target.queue.pop()))
+	} else {
+		s.recordLatency(target, now.Sub(target.holSince))
+		target.holSince = now
+	}
+
 	target.seq++
 	target.retries = 0
 	if target.deferredStop {
 		target.deferredStop = false
 		target.state = stateInactive
+		return
+	}
+	if target.arr.Unsaturated() && target.queue.len() == 0 {
+		target.state = stateIdle
 		return
 	}
 	s.startContention(target)
@@ -747,6 +894,11 @@ func (s *Simulator) result() *Result {
 		ControlSeries:    s.controlSeries,
 		ActiveSeries:     s.activeSeries,
 		EventsFired:      s.sched.Fired(),
+		Latency:          s.latHist,
+		JitterSum:        s.jitterSum,
+		JitterCount:      s.jitterCount,
+		PacketsArrived:   s.totalArrivals,
+		PacketsDropped:   s.totalDrops,
 	}
 	res.Stations = make([]StationStats, len(s.stations))
 	for i, st := range s.stations {
@@ -754,12 +906,19 @@ func (s *Simulator) result() *Result {
 		if pp, ok := st.policy.(*mac.PPersistent); ok {
 			weight = pp.Weight
 		}
+		var meanLat sim.Duration
+		if st.latCount > 0 {
+			meanLat = st.latSum / sim.Duration(st.latCount)
+		}
 		res.Stations[i] = StationStats{
 			Successes:     st.successes,
 			Failures:      st.failures,
 			BitsDelivered: st.bitsDelivered,
 			Throughput:    float64(st.bitsDelivered) / now.Seconds(),
 			Weight:        weight,
+			Arrivals:      st.arrivals,
+			Drops:         st.drops,
+			MeanLatency:   meanLat,
 		}
 	}
 	return res

@@ -10,17 +10,14 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
-	"repro/internal/core"
 	"repro/internal/eventsim"
-	"repro/internal/mac"
 	"repro/internal/model"
+	"repro/internal/scenario"
+	"repro/internal/scheme"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/topo"
 )
 
@@ -73,13 +70,6 @@ func (o Options) validate() error {
 		return fmt.Errorf("experiment: empty node sweep")
 	}
 	return nil
-}
-
-func (o Options) parallelism() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
 }
 
 // Table is a formatted experiment result.
@@ -160,72 +150,35 @@ const (
 	TopoDisc20    Topo = "disc20"
 )
 
-// buildTopology realises a topology family for n stations and a seed.
-//
-// The paper draws stations uniformly in discs of radius 16 m or 20 m; in
-// its ns-3 PHY a station slightly beyond the nominal 16 m decode distance
-// still reaches the AP, just poorly. Our unit-disc model is binary, so
-// for the 20 m family we project stations drawn beyond 16 m radially onto
-// the 16 m circle: every station keeps AP connectivity (the system
-// model's standing assumption) while the outer mass concentrates at the
-// rim, producing the larger hidden-pair counts that distinguish Fig. 7
-// from Fig. 6.
+// buildTopology realises a topology family for n stations and a seed by
+// delegating to scenario.BuildTopology — one copy of the disc draw and
+// rim projection, so the figure runners that call this directly and the
+// sweeps that go through scenario.Runner stay bit-identical by
+// construction. (The disc families pass topology seed 0 so the draw
+// derives from the per-repetition seed, matching the paper's convention
+// of a fresh placement per repetition.)
 func buildTopology(kind Topo, n int, seed int64) *topo.Topology {
-	switch kind {
-	case TopoConnected:
-		return topo.New(topo.Point{}, topo.CircleEdge(n, 8), topo.PaperRadii())
-	case TopoDisc16, TopoDisc20:
-		radius := 16.0
-		if kind == TopoDisc20 {
-			radius = 20.0
-		}
-		rng := sim.NewRNG(seed ^ 0x5eed)
-		pts := topo.UniformDisc(n, radius, rng)
-		for i, p := range pts {
-			// Project just inside the rim so float rounding cannot push
-			// a station past the decode radius.
-			if d := p.Distance(topo.Point{}); d > 16 {
-				scale := 15.999 / d
-				pts[i] = topo.Point{X: p.X * scale, Y: p.Y * scale}
-			}
-		}
-		return topo.New(topo.Point{}, pts, topo.PaperRadii())
-	default:
-		panic(fmt.Sprintf("experiment: unknown topology %q", kind))
+	ts, err := topologySpec(kind, n)
+	if err != nil {
+		panic(err.Error())
 	}
+	tp, err := scenario.BuildTopology(&ts, seed)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: %s n=%d: %v", kind, n, err))
+	}
+	return tp
 }
 
 // buildSim assembles a simulator for one (scheme, topology, seed) cell.
-func buildSim(scheme Scheme, tp *topo.Topology, seed int64) (*eventsim.Simulator, error) {
-	phy := model.PaperPHY()
-	back := model.PaperBackoff()
-	n := tp.N()
-	policies := make([]mac.Policy, n)
-	var controller core.Controller
-	switch scheme {
-	case SchemeDCF:
-		for i := range policies {
-			policies[i] = mac.NewStandardDCF(back.CWMin, back.CWMax())
-		}
-	case SchemeIdleSense:
-		for i := range policies {
-			policies[i] = mac.NewIdleSense(mac.IdleSenseConfig{})
-		}
-	case SchemeWTOP:
-		for i := range policies {
-			policies[i] = mac.NewPPersistent(1, 0.1)
-		}
-		controller = core.NewWTOP(core.WTOPConfig{Scale: phy.BitRate})
-	case SchemeTORA:
-		for i := range policies {
-			policies[i] = mac.NewRandomReset(back.CWMin, back.M, 0, 1)
-		}
-		controller = core.NewTORA(core.TORAConfig{M: back.M, Scale: phy.BitRate})
-	default:
-		return nil, fmt.Errorf("experiment: unknown scheme %q", scheme)
+// The scheme→policy mapping is scheme.Build — the single such mapping in
+// the repository.
+func buildSim(sch Scheme, tp *topo.Topology, seed int64) (*eventsim.Simulator, error) {
+	policies, controller, err := scheme.Build(string(sch), nil, tp.N())
+	if err != nil {
+		return nil, err
 	}
 	return eventsim.New(eventsim.Config{
-		PHY:        phy,
+		PHY:        model.PaperPHY(),
 		Topology:   tp,
 		Policies:   policies,
 		Controller: controller,
@@ -233,79 +186,67 @@ func buildSim(scheme Scheme, tp *topo.Topology, seed int64) (*eventsim.Simulator
 	})
 }
 
-// cell is one measurement point request.
-type cell struct {
-	scheme Scheme
-	kind   Topo
-	n      int
-	seed   int64
-}
-
-// measure runs one cell and returns converged throughput (bits/s) plus
-// the full result for runners that need more.
-func measure(o Options, c cell) (float64, *eventsim.Result, error) {
-	tp := buildTopology(c.kind, c.n, c.seed)
-	s, err := buildSim(c.scheme, tp, c.seed)
-	if err != nil {
-		return 0, nil, err
+// topologySpec translates an experiment topology family to the scenario
+// layer's declarative form. Disc families leave the topology seed at 0,
+// so every replication redraws its placement from the replication seed —
+// the convention of the paper's hidden-node sweeps (and bit-identical to
+// the pre-scenario harness, which drew from seed^0x5eed per repetition).
+func topologySpec(kind Topo, n int) (scenario.TopologySpec, error) {
+	switch kind {
+	case TopoConnected:
+		return scenario.TopologySpec{Kind: scenario.TopoConnected, N: n, Radius: 8}, nil
+	case TopoDisc16:
+		return scenario.TopologySpec{Kind: scenario.TopoDisc, N: n, Radius: 16}, nil
+	case TopoDisc20:
+		return scenario.TopologySpec{Kind: scenario.TopoDisc, N: n, Radius: 20}, nil
+	default:
+		return scenario.TopologySpec{}, fmt.Errorf("experiment: unknown topology %q", kind)
 	}
-	res := s.Run(o.Duration)
-	return res.ConvergedThroughput(o.Warmup), res, nil
 }
 
 // sweep evaluates mean converged throughput for each (scheme, n) over
-// o.Seeds seeds, running cells in parallel.
+// o.Seeds seeds. Every (scheme, n) cell becomes one declarative scenario
+// and the whole sweep fans out through scenario.Runner.RunBatch — the
+// repository's single simulation fan-out path.
 func sweep(o Options, kind Topo, schemes []Scheme) (map[Scheme]map[int]float64, error) {
-	type job struct {
-		c   cell
-		out *stats.Welford
-	}
-	acc := make(map[Scheme]map[int]*stats.Welford)
-	var jobs []job
-	for _, sch := range schemes {
-		acc[sch] = make(map[int]*stats.Welford)
-		for _, n := range o.Nodes {
-			w := &stats.Welford{}
-			acc[sch][n] = w
-			for seed := 0; seed < o.Seeds; seed++ {
-				jobs = append(jobs, job{cell{sch, kind, n, int64(seed + 1)}, w})
-			}
-		}
+	type key struct {
+		sch Scheme
+		n   int
 	}
 	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
+		specs []*scenario.Spec
+		keys  []key
 	)
-	sem := make(chan struct{}, o.parallelism())
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			got, _, err := measure(o, j.c)
-			mu.Lock()
-			defer mu.Unlock()
+	warmup := scenario.Duration(o.Warmup)
+	for _, sch := range schemes {
+		for _, n := range o.Nodes {
+			ts, err := topologySpec(kind, n)
 			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
+				return nil, err
 			}
-			j.out.Add(got)
-		}(j)
+			specs = append(specs, &scenario.Spec{
+				Name:     fmt.Sprintf("%s-%s-n%d", sch, kind, n),
+				Scheme:   string(sch),
+				Topology: ts,
+				Duration: scenario.Duration(o.Duration),
+				Warmup:   &warmup,
+				Seeds:    o.Seeds,
+				Seed:     1, // replication r runs with seed 1+r, as before
+			})
+			keys = append(keys, key{sch, n})
+		}
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	r := scenario.Runner{Parallelism: o.Parallelism}
+	sums, err := r.RunBatch(specs)
+	if err != nil {
+		return nil, err
 	}
 	out := make(map[Scheme]map[int]float64)
-	for sch, byN := range acc {
-		out[sch] = make(map[int]float64)
-		for n, w := range byN {
-			out[sch][n] = w.Mean()
+	for i, k := range keys {
+		if out[k.sch] == nil {
+			out[k.sch] = make(map[int]float64)
 		}
+		out[k.sch][k.n] = sums[i].ConvergedMbps.Mean * 1e6
 	}
 	return out, nil
 }

@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/eventsim"
+	"repro/internal/model"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Runner executes scenario replications across a worker pool.
+//
+// Determinism contract: replication r of a spec always runs with seed
+// Seed+r and its own RNG substreams — no state is shared between
+// replications — and aggregation folds replication results in index
+// order. The aggregate Summary is therefore bit-identical for any
+// Parallelism setting, a property the golden tests pin.
+type Runner struct {
+	// Parallelism bounds concurrently running replications
+	// (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (r *Runner) parallelism() int {
+	if r.Parallelism > 0 {
+		return r.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes one spec and returns its aggregate summary.
+func (r *Runner) Run(spec *Spec) (*Summary, error) {
+	sums, err := r.RunBatch([]*Spec{spec})
+	if err != nil {
+		return nil, err
+	}
+	return sums[0], nil
+}
+
+// RunSuite executes every scenario of a suite, fanning all replications
+// of all scenarios into one worker pool.
+func (r *Runner) RunSuite(su *Suite) ([]*Summary, error) {
+	specs := make([]*Spec, len(su.Scenarios))
+	for i := range su.Scenarios {
+		specs[i] = &su.Scenarios[i]
+	}
+	return r.RunBatch(specs)
+}
+
+// RunBatch validates the given specs and executes all their
+// replications in one worker pool — the repository's single simulation
+// fan-out path (the experiment harness routes its sweeps through here
+// too). It returns one Summary per spec, in spec order.
+func (r *Runner) RunBatch(specs []*Spec) ([]*Summary, error) {
+	type job struct{ si, rep int }
+	var jobs []job
+	results := make([][]*replication, len(specs))
+	for i, sp := range specs {
+		if err := sp.withDefaults(); err != nil {
+			name := sp.Name
+			if name == "" {
+				name = fmt.Sprintf("spec %d", i)
+			}
+			return nil, fmt.Errorf("scenario %s: %w", name, err)
+		}
+		results[i] = make([]*replication, sp.Seeds)
+		for rep := 0; rep < sp.Seeds; rep++ {
+			jobs = append(jobs, job{i, rep})
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstJob = len(jobs) // index of the erroring job, for determinism
+	)
+	ch := make(chan int)
+	workers := r.parallelism()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range ch {
+				j := jobs[ji]
+				rep, err := runReplication(specs[j.si], j.rep)
+				mu.Lock()
+				if err != nil {
+					// Keep the error of the lowest job index so the
+					// reported failure does not depend on scheduling.
+					if ji < firstJob {
+						firstJob, firstErr = ji, fmt.Errorf("scenario %q replication %d: %w", specs[j.si].Name, j.rep, err)
+					}
+				} else {
+					results[j.si][j.rep] = rep
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for ji := range jobs {
+		ch <- ji
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	sums := make([]*Summary, len(specs))
+	for i, sp := range specs {
+		sums[i] = summarize(sp, results[i])
+	}
+	return sums, nil
+}
+
+// replication is the raw outcome of one seeded run.
+type replication struct {
+	res         *eventsim.Result
+	hiddenPairs int
+	converged   float64 // bits/s after warmup
+	frames      int     // capture only
+	stJain      float64 // capture only
+}
+
+// runReplication assembles and executes one seeded simulation.
+func runReplication(sp *Spec, rep int) (*replication, error) {
+	repSeed := sp.Seed + int64(rep)
+	tp, err := BuildTopology(&sp.Topology, repSeed)
+	if err != nil {
+		return nil, err
+	}
+	n := tp.N()
+	policies, controller, err := scheme.Build(sp.Scheme, sp.Weights, n)
+	if err != nil {
+		return nil, err
+	}
+	cfg := eventsim.Config{
+		PHY:            model.PaperPHY(),
+		Topology:       tp,
+		Policies:       policies,
+		Controller:     controller,
+		UpdatePeriod:   sim.Duration(sp.UpdatePeriod),
+		Seed:           repSeed,
+		RTSCTS:         sp.RTSCTS,
+		FrameErrorRate: sp.FrameErrorRate,
+		Arrivals:       sp.arrivals(n),
+	}
+	var capBuf bytes.Buffer
+	var capWriter *trace.Writer
+	if sp.Capture {
+		capWriter = trace.NewWriter(&capBuf)
+		cfg.Trace = capWriter
+	}
+	s, err := eventsim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, step := range sp.Churn {
+		if err := s.SetActiveAt(sim.Time(step.At), step.Active); err != nil {
+			return nil, err
+		}
+	}
+	res := s.Run(sim.Duration(sp.Duration))
+	out := &replication{
+		res:         res,
+		hiddenPairs: len(tp.HiddenPairs()),
+		converged:   res.ConvergedThroughput(sim.Duration(*sp.Warmup)),
+	}
+	if capWriter != nil {
+		if err := capWriter.Close(); err != nil {
+			return nil, err
+		}
+		// The writer already counted the frames it encoded, so the
+		// capture is decoded exactly once (for the windowed fairness
+		// index).
+		out.frames = capWriter.Count()
+		_, stJain, err := trace.ShortTermFairness(bytes.NewReader(capBuf.Bytes()), sp.CaptureWindow)
+		if err != nil {
+			return nil, err
+		}
+		out.stJain = stJain
+	}
+	return out, nil
+}

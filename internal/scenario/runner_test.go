@@ -1,0 +1,203 @@
+package scenario
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func testSuite() *Suite {
+	return &Suite{
+		Name: "runner-test",
+		Scenarios: []Spec{
+			{
+				Name:     "saturated-dcf",
+				Topology: TopologySpec{Kind: TopoConnected, N: 8},
+				Duration: Duration(2 * time.Second),
+				Warmup:   durp(Duration(time.Second)),
+				Seeds:    3,
+			},
+			{
+				Name:     "hidden-tora",
+				Scheme:   SchemeTORA,
+				Topology: TopologySpec{Kind: TopoDisc, N: 10, Radius: 16},
+				Duration: Duration(2 * time.Second),
+				Warmup:   durp(Duration(time.Second)),
+				Seeds:    3,
+			},
+			{
+				Name:     "poisson-latency",
+				Topology: TopologySpec{Kind: TopoConnected, N: 6},
+				Traffic:  []TrafficSpec{{Model: "poisson", Rate: 120}},
+				Duration: Duration(3 * time.Second),
+				Warmup:   durp(Duration(time.Second)),
+				Seeds:    2,
+			},
+			{
+				Name:     "churn-wtop",
+				Scheme:   SchemeWTOP,
+				Topology: TopologySpec{Kind: TopoConnected, N: 12},
+				Churn:    []ChurnStep{{At: 0, Active: 4}, {At: Duration(time.Second), Active: 12}},
+				Duration: Duration(2 * time.Second),
+				Warmup:   durp(Duration(time.Second)),
+				Seeds:    2,
+			},
+		},
+	}
+}
+
+// The acceptance property of the runner: the aggregate is bit-identical
+// whatever the Parallelism, because replication seeding is pure and
+// aggregation order is fixed.
+func TestRunnerParallelismInvariance(t *testing.T) {
+	su := testSuite()
+	if err := su.withDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	serial := Runner{Parallelism: 1}
+	parallel := Runner{Parallelism: runtime.GOMAXPROCS(0)}
+	a, err := serial.RunSuite(su)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.RunSuite(su)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := MarshalSummaries(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := MarshalSummaries(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("Parallelism 1 vs %d summaries differ:\n%s\nvs\n%s",
+			runtime.GOMAXPROCS(0), aj, bj)
+	}
+}
+
+// Sanity of the summary content across scenario types.
+func TestRunnerSummaryContent(t *testing.T) {
+	su := testSuite()
+	if err := su.withDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	r := Runner{}
+	sums, err := r.RunSuite(su)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != len(su.Scenarios) {
+		t.Fatalf("%d summaries for %d scenarios", len(sums), len(su.Scenarios))
+	}
+	byName := map[string]*Summary{}
+	for _, s := range sums {
+		byName[s.Name] = s
+	}
+	sat := byName["saturated-dcf"]
+	if sat.Replications != 3 || sat.Stations != 8 {
+		t.Errorf("saturated summary shape: %+v", sat)
+	}
+	if sat.ThroughputMbps.Mean <= 0 || sat.Successes == 0 {
+		t.Errorf("saturated run made no progress: %+v", sat)
+	}
+	if sat.PacketsArrived != 0 {
+		t.Errorf("saturated run counted arrivals: %d", sat.PacketsArrived)
+	}
+	if sat.Latency.Packets != sat.Successes {
+		t.Errorf("latency packets %d != successes %d", sat.Latency.Packets, sat.Successes)
+	}
+	if sat.HiddenPairs.Mean != 0 {
+		t.Errorf("connected topology reported hidden pairs: %v", sat.HiddenPairs.Mean)
+	}
+
+	hid := byName["hidden-tora"]
+	if hid.HiddenPairs.Mean <= 0 {
+		t.Errorf("16 m disc with 10 stations should have hidden pairs, got %v", hid.HiddenPairs.Mean)
+	}
+	// Per-replication topologies differ (topology seed 0), so the
+	// hidden-pair count should vary across the three seeds.
+	if hid.HiddenPairs.StdDev == 0 {
+		t.Logf("note: hidden-pair count identical across seeds (possible but unlikely)")
+	}
+
+	poi := byName["poisson-latency"]
+	if poi.PacketsArrived == 0 || poi.Latency.Packets == 0 {
+		t.Errorf("poisson run recorded no arrivals/latency: %+v", poi)
+	}
+	if poi.Latency.P99Ms < poi.Latency.P50Ms || poi.Latency.P50Ms <= 0 {
+		t.Errorf("implausible latency percentiles: %+v", poi.Latency)
+	}
+
+	ch := byName["churn-wtop"]
+	if ch.Successes == 0 {
+		t.Errorf("churn run made no progress")
+	}
+}
+
+// Capture scenarios must report frame counts and a short-term fairness
+// index, and stay parallelism-invariant too.
+func TestRunnerCapture(t *testing.T) {
+	sp := &Spec{
+		Name:     "cap",
+		Topology: TopologySpec{Kind: TopoConnected, N: 5},
+		Duration: Duration(2 * time.Second),
+		Capture:  true,
+		Seeds:    2,
+	}
+	r := Runner{}
+	sum, err := r.Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Capture == nil {
+		t.Fatal("capture stats missing")
+	}
+	if sum.Capture.Frames == 0 {
+		t.Error("no frames captured")
+	}
+	if j := sum.Capture.ShortTermJain.Mean; j <= 0 || j > 1 {
+		t.Errorf("short-term Jain %v outside (0, 1]", j)
+	}
+	if sp.CaptureWindow != 15 {
+		t.Errorf("capture window default = %d, want 3·N = 15", sp.CaptureWindow)
+	}
+}
+
+// Runner errors must be deterministic and name the failing scenario.
+func TestRunnerReportsSpecErrors(t *testing.T) {
+	r := Runner{}
+	if _, err := r.Run(&Spec{Name: "bad", Topology: TopologySpec{Kind: "torus", N: 3}}); err == nil {
+		t.Error("invalid spec did not error")
+	}
+}
+
+// A single replication re-run must be bit-identical to itself (the
+// determinism base case the invariance test builds on).
+func TestRunnerDeterminism(t *testing.T) {
+	sp := &Spec{
+		Name:     "det",
+		Scheme:   SchemeTORA,
+		Topology: TopologySpec{Kind: TopoDisc, N: 8, Radius: 16},
+		Traffic:  []TrafficSpec{{Model: "poisson", Rate: 200}},
+		Duration: Duration(2 * time.Second),
+		Seeds:    2,
+	}
+	r := Runner{}
+	a, err := r.Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := MarshalSummaries([]*Summary{a})
+	bj, _ := MarshalSummaries([]*Summary{b})
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("same spec diverged across runs:\n%s\nvs\n%s", aj, bj)
+	}
+}

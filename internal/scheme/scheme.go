@@ -1,0 +1,68 @@
+// Package scheme is the single scheme→policy mapping in the repository:
+// it names the paper's four channel-access schemes and constructs their
+// per-station contention policies plus the AP-side controller with the
+// paper's parameters. The wlan facade, the experiment harness and the
+// scenario runner all build through it, so a scheme behaves identically
+// wherever it is invoked. It is a leaf package (core/mac/model only), so
+// engine-facing consumers do not drag in the declarative scenario layer.
+package scheme
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mac"
+	"repro/internal/model"
+)
+
+// The paper's four schemes, by their reporting names.
+const (
+	DCF       = "802.11"
+	IdleSense = "IdleSense"
+	WTOP      = "wTOP-CSMA"
+	TORA      = "TORA-CSMA"
+)
+
+// Build constructs one contention policy per station plus the AP
+// controller for a named scheme. weights may be nil (unit weights);
+// non-nil weights require wTOP-CSMA, the only weighted scheme.
+func Build(scheme string, weights []float64, n int) ([]mac.Policy, core.Controller, error) {
+	if weights != nil && len(weights) != n {
+		return nil, nil, fmt.Errorf("scheme: %d weights for %d stations", len(weights), n)
+	}
+	if weights != nil && scheme != WTOP {
+		return nil, nil, fmt.Errorf("scheme: weights require the %s scheme", WTOP)
+	}
+	phy := model.PaperPHY()
+	back := model.PaperBackoff()
+	policies := make([]mac.Policy, n)
+	var controller core.Controller
+	switch scheme {
+	case DCF:
+		for i := range policies {
+			policies[i] = mac.NewStandardDCF(back.CWMin, back.CWMax())
+		}
+	case IdleSense:
+		for i := range policies {
+			policies[i] = mac.NewIdleSense(mac.IdleSenseConfig{})
+		}
+	case WTOP:
+		for i := range policies {
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
+			policies[i] = mac.NewPPersistent(w, 0.1)
+		}
+		controller = core.NewWTOP(core.WTOPConfig{Scale: phy.BitRate})
+	case TORA:
+		for i := range policies {
+			policies[i] = mac.NewRandomReset(back.CWMin, back.M, 0, 1)
+		}
+		controller = core.NewTORA(core.TORAConfig{M: back.M, Scale: phy.BitRate})
+	default:
+		return nil, nil, fmt.Errorf("scheme: unknown scheme %q (want %s, %s, %s or %s)",
+			scheme, DCF, IdleSense, WTOP, TORA)
+	}
+	return policies, controller, nil
+}

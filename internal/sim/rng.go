@@ -146,3 +146,7 @@ func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
 // NormFloat64 returns a standard normal draw (used by tests to synthesise
 // noisy throughput observations).
 func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Exp returns an exponentially distributed draw with rate 1 (mean 1).
+// Scale by 1/λ for rate λ — the inter-arrival gap of a Poisson process.
+func (g *RNG) Exp() float64 { return g.r.ExpFloat64() }

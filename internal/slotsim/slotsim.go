@@ -20,6 +20,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/traffic"
 )
 
 // Config assembles a slotted run.
@@ -34,6 +35,15 @@ type Config struct {
 	UpdatePeriod sim.Duration
 	// Seed drives all randomness.
 	Seed int64
+	// Arrivals describes each station's packet arrival process, in
+	// station-index order. Nil means saturated everywhere (bit-identical
+	// to pre-Arrivals behaviour). The slotted abstraction supports
+	// Saturated and Poisson sources; OnOff bursts need the continuous
+	// clock of eventsim and are rejected here. Arrivals land on the slot
+	// grid: a packet arriving mid-slot joins contention at the next slot
+	// boundary, the slotted counterpart of eventsim's continuous-time
+	// admission.
+	Arrivals []traffic.Spec
 }
 
 // Result summarises a slotted run.
@@ -55,6 +65,10 @@ type Result struct {
 	ControlSeries stats.TimeSeries
 	// ThroughputSeries tracks windowed throughput.
 	ThroughputSeries stats.TimeSeries
+	// PacketsArrived and PacketsDropped count offered packets and
+	// queue-overflow losses across unsaturated stations (zero in the
+	// saturated regime).
+	PacketsArrived, PacketsDropped int64
 }
 
 // ThroughputMbps returns the run throughput in Mbit/s.
@@ -76,6 +90,10 @@ type Simulator struct {
 	// here so repeated Run calls stay allocation-free.
 	attackerIdx []int
 
+	// unsat is true when any station has a finite-load source; the
+	// saturated hot loop skips every arrival check when false.
+	unsat bool
+
 	res Result
 }
 
@@ -84,6 +102,19 @@ type slotStation struct {
 	rng     *sim.RNG
 	counter int
 	bits    int64
+
+	// Unsaturated-source state: the arrival spec, its dedicated RNG
+	// substream, the (continuous) instant of the next arrival, and the
+	// current queue length. A station contends only while backlogged.
+	arr    traffic.Spec
+	arrRNG *sim.RNG
+	next   sim.Time
+	qlen   int
+}
+
+// backlogged reports whether the station has a frame to contend for.
+func (st *slotStation) backlogged() bool {
+	return !st.arr.Unsaturated() || st.qlen > 0
 }
 
 // New validates cfg and builds a simulator.
@@ -108,6 +139,19 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.UpdatePeriod < 0 {
 		return nil, fmt.Errorf("slotsim: negative UpdatePeriod")
 	}
+	if cfg.Arrivals != nil {
+		if len(cfg.Arrivals) != len(cfg.Policies) {
+			return nil, fmt.Errorf("slotsim: %d arrival specs for %d stations", len(cfg.Arrivals), len(cfg.Policies))
+		}
+		for i, a := range cfg.Arrivals {
+			if err := a.Validate(); err != nil {
+				return nil, fmt.Errorf("slotsim: station %d: %w", i, err)
+			}
+			if a.Kind == traffic.OnOff {
+				return nil, fmt.Errorf("slotsim: station %d: onoff arrivals need the continuous clock of eventsim", i)
+			}
+		}
+	}
 	s := &Simulator{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
 	s.stations = make([]slotStation, len(cfg.Policies))
 	for i := range s.stations {
@@ -115,6 +159,28 @@ func New(cfg Config) (*Simulator, error) {
 		st.policy = cfg.Policies[i]
 		st.rng = s.rng.Split(int64(i))
 		st.counter = st.policy.NextBackoff(st.rng)
+	}
+	if cfg.Arrivals != nil {
+		for i := range s.stations {
+			if cfg.Arrivals[i].Unsaturated() {
+				s.unsat = true
+				break
+			}
+		}
+		// Arrival substreams are split only when an unsaturated source
+		// exists, so all-saturated configs stay bit-identical to a
+		// nil-Arrivals run (same root-RNG consumption).
+		if s.unsat {
+			n := len(s.stations)
+			for i := range s.stations {
+				st := &s.stations[i]
+				st.arr = cfg.Arrivals[i]
+				st.arrRNG = s.rng.Split(int64(n + i))
+				if st.arr.Unsaturated() {
+					st.next = sim.Time(st.arr.NextInterArrival(st.arrRNG))
+				}
+			}
+		}
 	}
 	s.res.PerStation = make([]int64, len(cfg.Policies))
 	s.nextWindow = sim.Time(cfg.UpdatePeriod)
@@ -130,12 +196,18 @@ func (s *Simulator) Run(duration sim.Duration) *Result {
 	end := sim.Time(duration)
 	idleRun := int64(0)
 	for s.now.Before(end) {
-		// Collect stations whose counters expired; track the minimum
-		// surviving counter so idle runs can be fast-forwarded in one
-		// step instead of one slot at a time.
+		if s.unsat {
+			s.admitArrivals()
+		}
+		// Collect backlogged stations whose counters expired; track the
+		// minimum surviving counter so idle runs can be fast-forwarded in
+		// one step instead of one slot at a time.
 		s.attackerIdx = s.attackerIdx[:0]
 		minCounter := int(^uint(0) >> 1)
 		for i := range s.stations {
+			if !s.stations[i].backlogged() {
+				continue
+			}
 			c := s.stations[i].counter
 			if c == 0 {
 				s.attackerIdx = append(s.attackerIdx, i)
@@ -146,10 +218,10 @@ func (s *Simulator) Run(duration sim.Duration) *Result {
 		attackers := len(s.attackerIdx)
 		switch {
 		case attackers == 0:
-			// All counters are ≥ 1: the next minCounter slots are idle
-			// by construction. Jump them at once, capped at the next
-			// controller-window boundary so the windowed series closes
-			// at exactly the same instants as the per-slot walk.
+			// All backlogged counters are ≥ 1: the next minCounter slots
+			// are idle by construction. Jump them at once, capped at the
+			// next controller-window boundary so the windowed series
+			// closes at exactly the same instants as the per-slot walk.
 			jump := minCounter
 			if boundary := int((s.nextWindow.Sub(s.now) + s.cfg.PHY.Slot - 1) / s.cfg.PHY.Slot); boundary >= 1 && boundary < jump {
 				jump = boundary
@@ -159,11 +231,21 @@ func (s *Simulator) Run(duration sim.Duration) *Result {
 			if endSlots := int((end.Sub(s.now) + s.cfg.PHY.Slot - 1) / s.cfg.PHY.Slot); endSlots >= 1 && endSlots < jump {
 				jump = endSlots
 			}
+			// An arrival can make an idle station backlogged mid-run;
+			// stop the jump at the first upcoming arrival's slot boundary
+			// so its backoff starts on time.
+			if s.unsat {
+				if slots := s.slotsUntilArrival(); slots >= 1 && slots < jump {
+					jump = slots
+				}
+			}
 			s.res.IdleSlots += int64(jump)
 			idleRun += int64(jump)
 			s.now = s.now.Add(sim.Duration(jump) * s.cfg.PHY.Slot)
 			for i := range s.stations {
-				s.stations[i].counter -= jump
+				if s.stations[i].backlogged() {
+					s.stations[i].counter -= jump
+				}
 			}
 		case attackers == 1:
 			winner := s.attackerIdx[0]
@@ -176,6 +258,9 @@ func (s *Simulator) Run(duration sim.Duration) *Result {
 			st.bits += payload
 			s.res.PerStation[winner] += payload
 			s.windowBits += payload
+			if st.arr.Unsaturated() {
+				st.qlen--
+			}
 			st.policy.OnSuccess(st.rng)
 			s.broadcast()
 			s.redraw(winner)
@@ -242,10 +327,61 @@ func (s *Simulator) resume(attackers []int) {
 			continue
 		}
 		st := &s.stations[i]
+		if !st.backlogged() {
+			continue // no frame, no counter to maintain
+		}
 		if m, ok := st.policy.(mac.Memoryless); ok && m.BackoffMemoryless() {
 			st.counter = st.policy.NextBackoff(st.rng)
 		}
 	}
+}
+
+// admitArrivals moves every arrival with timestamp ≤ now into its
+// station's queue, drawing the counter when the station becomes
+// backlogged. Drops are counted against a full queue.
+func (s *Simulator) admitArrivals() {
+	for i := range s.stations {
+		st := &s.stations[i]
+		if !st.arr.Unsaturated() {
+			continue
+		}
+		for !st.next.After(s.now) {
+			s.res.PacketsArrived++
+			if st.qlen >= st.arr.EffectiveQueueCap() {
+				s.res.PacketsDropped++
+			} else {
+				st.qlen++
+				if st.qlen == 1 {
+					// A fresh head-of-line frame draws a fresh backoff
+					// from the policy's current state.
+					st.counter = st.policy.NextBackoff(st.rng)
+				}
+			}
+			st.next = st.next.Add(st.arr.NextInterArrival(st.arrRNG))
+		}
+	}
+}
+
+// slotsUntilArrival returns the number of whole slots from now until the
+// earliest pending arrival among unsaturated stations (minimum 1).
+func (s *Simulator) slotsUntilArrival() int {
+	earliest := sim.Time(int64(^uint64(0) >> 1))
+	found := false
+	for i := range s.stations {
+		st := &s.stations[i]
+		if st.arr.Unsaturated() && st.next.Before(earliest) {
+			earliest = st.next
+			found = true
+		}
+	}
+	if !found {
+		return 0
+	}
+	slots := int((earliest.Sub(s.now) + s.cfg.PHY.Slot - 1) / s.cfg.PHY.Slot)
+	if slots < 1 {
+		slots = 1
+	}
+	return slots
 }
 
 // broadcast delivers the AP control block to every station.

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDurationHistEmpty(t *testing.T) {
+	var h DurationHist
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestDurationHistSingleValue(t *testing.T) {
+	var h DurationHist
+	h.Observe(250 * sim.Microsecond)
+	if h.Count() != 1 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Mean() != 250*sim.Microsecond {
+		t.Errorf("mean %v", h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got != 250*sim.Microsecond {
+			t.Errorf("q%.2f = %v, want 250µs (single sample clamps to min==max)", q, got)
+		}
+	}
+}
+
+// Quantile uses rank ⌈q·n⌉: with three samples the median is the second
+// order statistic, not the first.
+func TestDurationHistQuantileRankCeil(t *testing.T) {
+	var h DurationHist
+	for _, v := range []sim.Duration{100 * sim.Microsecond, 200 * sim.Microsecond, 400 * sim.Microsecond} {
+		h.Observe(v)
+	}
+	got := h.Quantile(0.5)
+	// Rank ⌈1.5⌉ = 2 → the 200 µs sample's bucket (within one log-linear
+	// bucket width).
+	if got < 150*sim.Microsecond || got > 250*sim.Microsecond {
+		t.Errorf("median of {100µs, 200µs, 400µs} = %v, want ≈200µs (rank-2 order statistic)", got)
+	}
+}
+
+// Quantiles must land within one log-linear bucket (12.5% relative) of
+// the exact order statistics for a broad spread of values.
+func TestDurationHistQuantileAccuracy(t *testing.T) {
+	var h DurationHist
+	rng := sim.NewRNG(42)
+	var exact []float64
+	for i := 0; i < 20000; i++ {
+		// Latencies spanning 10 µs .. ~100 ms, roughly log-uniform.
+		v := sim.Duration(10e3 * math.Pow(10, 4*rng.Float64()))
+		h.Observe(v)
+		exact = append(exact, float64(v))
+	}
+	sort.Float64s(exact)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		want := exact[int(q*float64(len(exact)))-1]
+		got := float64(h.Quantile(q))
+		if rel := math.Abs(got-want) / want; rel > 0.125+0.01 {
+			t.Errorf("q%.2f: hist %v vs exact %v (off %.1f%%)", q, got, want, 100*rel)
+		}
+	}
+}
+
+// Merge must be exact: merging per-shard histograms in any grouping gives
+// the same result as observing everything into one histogram.
+func TestDurationHistMergeExact(t *testing.T) {
+	rng := sim.NewRNG(7)
+	var whole DurationHist
+	shards := make([]DurationHist, 4)
+	for i := 0; i < 10000; i++ {
+		v := sim.Duration(rng.Intn(1_000_000_000))
+		whole.Observe(v)
+		shards[i%len(shards)].Observe(v)
+	}
+	var merged DurationHist
+	for i := range shards {
+		merged.Merge(&shards[i])
+	}
+	if merged != whole {
+		t.Error("merged histogram differs from whole-stream histogram")
+	}
+	// Merge into empty and from empty.
+	var empty, copyOf DurationHist
+	copyOf.Merge(&whole)
+	if copyOf != whole {
+		t.Error("merge into empty is not a copy")
+	}
+	whole.Merge(&empty)
+	if copyOf != whole {
+		t.Error("merging an empty histogram changed the receiver")
+	}
+}
+
+func TestDurationHistNegativeClamps(t *testing.T) {
+	var h DurationHist
+	h.Observe(-5 * sim.Second)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("negative observation should clamp to zero: %+v", h)
+	}
+}
+
+// Bucket mapping sanity: midpoints must be monotonically non-decreasing
+// and each value must fall inside its own bucket's range.
+func TestDurationHistBucketMonotone(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		mid := bucketMid(i)
+		if mid < prev {
+			t.Fatalf("bucket %d midpoint %d < previous %d", i, mid, prev)
+		}
+		prev = mid
+	}
+	for _, v := range []int64{0, 1, 7, 8, 9, 255, 256, 1 << 20, 1<<62 - 1} {
+		if got := bucketOf(bucketMid(bucketOf(v))); got != bucketOf(v) {
+			t.Errorf("value %d: midpoint leaves its bucket (%d vs %d)", v, got, bucketOf(v))
+		}
+	}
+}

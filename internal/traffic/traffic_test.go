@@ -1,0 +1,125 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"saturated zero value", Spec{}, true},
+		{"saturated ignores garbage", Spec{Kind: Saturated, Rate: -1}, true},
+		{"poisson", Spec{Kind: Poisson, Rate: 100}, true},
+		{"poisson zero rate", Spec{Kind: Poisson}, false},
+		{"poisson negative rate", Spec{Kind: Poisson, Rate: -5}, false},
+		{"poisson NaN rate", Spec{Kind: Poisson, Rate: math.NaN()}, false},
+		{"poisson inf rate", Spec{Kind: Poisson, Rate: math.Inf(1)}, false},
+		{"poisson absurd rate", Spec{Kind: Poisson, Rate: 1e12}, false},
+		{"poisson subnormal rate", Spec{Kind: Poisson, Rate: 1e-300}, false},
+		{"poisson below min rate", Spec{Kind: Poisson, Rate: 1e-9}, false},
+		{"negative queue cap", Spec{Kind: Poisson, Rate: 1, QueueCap: -1}, false},
+		{"huge queue cap", Spec{Kind: Poisson, Rate: 1, QueueCap: MaxQueueCap + 1}, false},
+		{"onoff", Spec{Kind: OnOff, Rate: 50, OnMean: sim.Second, OffMean: sim.Second}, true},
+		{"onoff missing phases", Spec{Kind: OnOff, Rate: 50}, false},
+		{"onoff nanosecond phases", Spec{Kind: OnOff, Rate: 50, OnMean: sim.Nanosecond, OffMean: sim.Nanosecond}, false},
+		{"onoff week-long phases", Spec{Kind: OnOff, Rate: 50, OnMean: 40 * 24 * 3600 * sim.Second, OffMean: sim.Second}, false},
+		{"unknown kind", Spec{Kind: Kind(42), Rate: 1}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.spec.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Saturated, Poisson, OnOff} {
+		got, err := KindFromString(k.String())
+		if err != nil || got != k {
+			t.Errorf("KindFromString(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := KindFromString("bursty"); err == nil {
+		t.Error("KindFromString accepted an unknown model name")
+	}
+	if k, err := KindFromString(""); err != nil || k != Saturated {
+		t.Errorf("empty model name should default to saturated, got %v, %v", k, err)
+	}
+}
+
+// Empirical check of the Poisson sampler at a fixed seed: exponential
+// inter-arrivals must have mean ≈ 1/λ and squared coefficient of
+// variation ≈ 1 (variance ≈ mean²). With 50 000 draws the standard error
+// of the mean is ~0.45% and of the variance ~1.3%, so 5%/10% tolerances
+// leave wide deterministic margins.
+func TestPoissonInterArrivalMoments(t *testing.T) {
+	const (
+		rate  = 1000.0 // packets/second → mean gap 1 ms
+		draws = 50000
+	)
+	spec := Spec{Kind: Poisson, Rate: rate}
+	rng := sim.NewRNG(12345)
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		g := spec.NextInterArrival(rng).Seconds()
+		if g <= 0 {
+			t.Fatalf("draw %d: non-positive gap %v", i, g)
+		}
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	wantMean := 1 / rate
+	if rel := math.Abs(mean-wantMean) / wantMean; rel > 0.05 {
+		t.Errorf("empirical mean %.6g vs %.6g (off by %.2f%%)", mean, wantMean, 100*rel)
+	}
+	wantVar := wantMean * wantMean
+	if rel := math.Abs(variance-wantVar) / wantVar; rel > 0.10 {
+		t.Errorf("empirical variance %.6g vs %.6g (off by %.2f%%)", variance, wantVar, 100*rel)
+	}
+}
+
+// The OnOff phase sampler must honour each phase's own mean, and the
+// long-run MeanRate must equal the duty-cycle-weighted rate.
+func TestOnOffPhaseMoments(t *testing.T) {
+	spec := Spec{
+		Kind:    OnOff,
+		Rate:    400,
+		OnMean:  100 * sim.Millisecond,
+		OffMean: 300 * sim.Millisecond,
+	}
+	rng := sim.NewRNG(99)
+	const draws = 20000
+	var on, off float64
+	for i := 0; i < draws; i++ {
+		on += spec.NextPhase(true, rng).Seconds()
+		off += spec.NextPhase(false, rng).Seconds()
+	}
+	if rel := math.Abs(on/draws-0.1) / 0.1; rel > 0.05 {
+		t.Errorf("On phase mean %.4f s, want 0.1 s (off by %.2f%%)", on/draws, 100*rel)
+	}
+	if rel := math.Abs(off/draws-0.3) / 0.3; rel > 0.05 {
+		t.Errorf("Off phase mean %.4f s, want 0.3 s (off by %.2f%%)", off/draws, 100*rel)
+	}
+	if got, want := spec.MeanRate(), 400*0.1/0.4; math.Abs(got-want) > 1e-9 {
+		t.Errorf("MeanRate() = %v, want %v", got, want)
+	}
+}
+
+// Determinism: the same seed must reproduce the same gap sequence.
+func TestSamplerDeterminism(t *testing.T) {
+	spec := Spec{Kind: Poisson, Rate: 250}
+	a, b := sim.NewRNG(7), sim.NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if ga, gb := spec.NextInterArrival(a), spec.NextInterArrival(b); ga != gb {
+			t.Fatalf("draw %d: %v != %v", i, ga, gb)
+		}
+	}
+}

@@ -22,10 +22,9 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/eventsim"
-	"repro/internal/mac"
 	"repro/internal/model"
+	"repro/internal/scheme"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -167,48 +166,16 @@ func New(cfg Config) (*Simulation, error) {
 		cfg.Seed = 1
 	}
 	n := cfg.Topology.N()
-	if cfg.Weights != nil {
-		if len(cfg.Weights) != n {
-			return nil, fmt.Errorf("wlan: %d weights for %d stations", len(cfg.Weights), n)
-		}
-		if cfg.Scheme != WTOPCSMA {
-			return nil, fmt.Errorf("wlan: weights require the wTOP-CSMA scheme")
-		}
-	}
-
-	phy := model.PaperPHY()
-	back := model.PaperBackoff()
-	policies := make([]mac.Policy, n)
-	var controller core.Controller
-	switch cfg.Scheme {
-	case DCF:
-		for i := range policies {
-			policies[i] = mac.NewStandardDCF(back.CWMin, back.CWMax())
-		}
-	case IdleSense:
-		for i := range policies {
-			policies[i] = mac.NewIdleSense(mac.IdleSenseConfig{})
-		}
-	case WTOPCSMA:
-		for i := range policies {
-			w := 1.0
-			if cfg.Weights != nil {
-				w = cfg.Weights[i]
-			}
-			policies[i] = mac.NewPPersistent(w, 0.1)
-		}
-		controller = core.NewWTOP(core.WTOPConfig{Scale: phy.BitRate})
-	case TORACSMA:
-		for i := range policies {
-			policies[i] = mac.NewRandomReset(back.CWMin, back.M, 0, 1)
-		}
-		controller = core.NewTORA(core.TORAConfig{M: back.M, Scale: phy.BitRate})
-	default:
-		return nil, fmt.Errorf("wlan: unknown scheme %q", cfg.Scheme)
+	// The scheme→policy mapping is scheme.Build — the single such
+	// mapping in the repository, shared with the scenario runner and
+	// the experiment harness.
+	policies, controller, err := scheme.Build(string(cfg.Scheme), cfg.Weights, n)
+	if err != nil {
+		return nil, fmt.Errorf("wlan: %w", err)
 	}
 
 	inner, err := eventsim.New(eventsim.Config{
-		PHY:            phy,
+		PHY:            model.PaperPHY(),
 		Topology:       cfg.Topology,
 		Policies:       policies,
 		Controller:     controller,
