@@ -4,6 +4,7 @@
 //	experiments -run fig3
 //	experiments -run all -tsv -out results/
 //	experiments -run fig6 -paper        # paper-scale durations (slow)
+//	experiments -run fig1 -cache /tmp/sweep-cache   # reuse completed sweep points
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 		paper    = flag.Bool("paper", false, "paper-scale durations and seed counts (hours)")
 		duration = flag.Duration("duration", 0, "override simulated duration per run")
 		seeds    = flag.Int("seeds", 0, "override seeds per data point")
+		cacheDir = flag.String("cache", "", "back figure sweeps with the content-addressed sweep cache at this directory")
 	)
 	flag.Parse()
 
@@ -45,12 +47,20 @@ func main() {
 	if *paper {
 		opts = experiment.Paper()
 	}
-	if *duration > 0 {
+	if *duration != 0 {
 		opts.Duration = sim.Duration(*duration)
 		opts.Warmup = opts.Duration / 2
 	}
-	if *seeds > 0 {
+	if *seeds != 0 {
 		opts.Seeds = *seeds
+	}
+	opts.CacheDir = *cacheDir
+	// Validate the final options — including flag overrides — before any
+	// figure starts simulating, so a typo like `-duration 1ns` exits
+	// with one clear message instead of failing deep inside a run.
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
 	}
 
 	ids := []string{*run}

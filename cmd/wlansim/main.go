@@ -7,6 +7,9 @@
 //	wlansim -scenario examples/hiddennodes.json
 //	wlansim -scenario examples/unsaturated.json -quick -parallel 4
 //	wlansim -scenario examples/capture.json -summary-json out.json
+//	wlansim -sweep examples/sweeps/smoke.json -cache ~/.cache/wlansim-sweep -sweep-out out.jsonl
+//	wlansim -sweep grid.json -shard 0/4 -cache /shared/cache -sweep-out shard0.jsonl
+//	wlansim -merge merged.jsonl shard0.jsonl shard1.jsonl shard2.jsonl shard3.jsonl
 //	wlansim -scheme wTOP-CSMA -nodes 40 -duration 60s
 //	wlansim -scheme 802.11 -nodes 20 -disc 16 -seed 7 -series
 //	wlansim -scheme wTOP-CSMA -nodes 10 -weights 1,1,1,2,2,2,3,3,3,3
@@ -16,12 +19,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/wlan"
 )
 
@@ -29,8 +34,15 @@ func main() {
 	var (
 		scenarioPath = flag.String("scenario", "", "run a declarative scenario file (JSON suite or single spec) instead of flag-based config")
 		quick        = flag.Bool("quick", false, "with -scenario: scale the suite for fast runs (3s simulated, ≤2 seeds) — the scale CI pins with golden summaries")
-		parallel     = flag.Int("parallel", 0, "with -scenario: replication worker count (0 = GOMAXPROCS); the aggregate is bit-identical for any value")
+		parallel     = flag.Int("parallel", 0, "with -scenario/-sweep: replication worker count (0 = GOMAXPROCS); the aggregate is bit-identical for any value")
 		summaryJSON  = flag.String("summary-json", "", "with -scenario: also write the aggregate summaries as canonical JSON to this file")
+	)
+	var (
+		sweepPath = flag.String("sweep", "", "run a declarative sweep grid file (base scenario × axes) and stream one JSONL row per point")
+		sweepOut  = flag.String("sweep-out", "", "with -sweep: write the JSONL rows to this file (default stdout)")
+		shardSpec = flag.String("shard", "", "with -sweep: run only shard i/N of the expanded grid (deterministic partition; merged shard outputs are byte-identical to an unsharded run)")
+		cacheDir  = flag.String("cache", "", "with -sweep: content-addressed result cache directory; completed (spec, engine) points are served without re-simulating")
+		mergeOut  = flag.String("merge", "", "merge shard JSONL files (the remaining arguments) into this file, restoring unsharded byte-identical order")
 	)
 	var (
 		scheme   = flag.String("scheme", "802.11", "channel access scheme: 802.11, IdleSense, wTOP-CSMA, TORA-CSMA")
@@ -48,6 +60,14 @@ func main() {
 	)
 	flag.Parse()
 
+	if *mergeOut != "" {
+		runMerge(*mergeOut, flag.Args())
+		return
+	}
+	if *sweepPath != "" {
+		runSweep(*sweepPath, *sweepOut, *shardSpec, *cacheDir, *parallel)
+		return
+	}
 	if *scenarioPath != "" {
 		runScenario(*scenarioPath, *quick, *parallel, *summaryJSON)
 		return
@@ -134,6 +154,102 @@ func main() {
 			fmt.Printf("%-7.2f  %-7.3f  %s\n", at.Seconds(), res.ThroughputSeries.Values[i]/1e6, ctl)
 		}
 	}
+}
+
+// runSweep loads a sweep grid, executes (its shard of) the expanded
+// cross-product through the cached sweep runner and streams one JSONL
+// row per point. The final stats line goes to stdout — CI greps its
+// "N simulated" figure to prove cache hits — unless the rows
+// themselves stream to stdout, in which case stats go to stderr.
+func runSweep(path, outPath, shardSpec, cacheDir string, parallelism int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	g, err := sweep.Decode(data)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	r := &sweep.Runner{Parallelism: parallelism}
+	if shardSpec != "" {
+		sh, err := sweep.ParseShard(shardSpec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		r.Shard = sh
+	}
+	if cacheDir != "" {
+		c, err := sweep.OpenCache(cacheDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		r.Cache = c
+	}
+	out := os.Stdout
+	statsOut := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		out = f
+	} else {
+		statsOut = os.Stderr
+	}
+	name := g.Name
+	if name == "" {
+		name = path
+	}
+	start := time.Now()
+	st, err := r.Stream(g, out)
+	if err != nil {
+		if out != os.Stdout {
+			out.Close()
+		}
+		fatalf("sweep %s: %v", name, err)
+	}
+	if out != os.Stdout {
+		if err := out.Close(); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	fmt.Fprintf(statsOut, "sweep %s: %s in %v\n", name, st, time.Since(start).Round(time.Millisecond))
+}
+
+// runMerge combines shard JSONL outputs into the byte-identical
+// unsharded stream.
+func runMerge(outPath string, shardPaths []string) {
+	if len(shardPaths) == 0 {
+		fatalf("-merge needs shard files as arguments")
+	}
+	var readers []*os.File
+	defer func() {
+		for _, f := range readers {
+			f.Close()
+		}
+	}()
+	var inputs []io.Reader
+	for _, p := range shardPaths {
+		f, err := os.Open(p)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		readers = append(readers, f)
+		inputs = append(inputs, f)
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	n, err := sweep.Merge(out, inputs...)
+	if err != nil {
+		out.Close()
+		fatalf("%v", err)
+	}
+	if err := out.Close(); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("merged %d points from %d shard(s) -> %s\n", n, len(shardPaths), outPath)
 }
 
 // runScenario loads a scenario file, executes every scenario through the

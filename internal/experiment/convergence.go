@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // Convergence is an extension experiment quantifying Section VI-D: how
@@ -14,53 +16,82 @@ import (
 // optimum, and the steady-state standard deviation (TORA's flatter
 // maxima should show as a smaller σ — the paper's Fig. 2 vs. Fig. 13
 // argument).
+//
+// The (nodes × scheme) cells are enumerated through the declarative
+// sweep grid — the same expansion, ordering and naming as every figure
+// sweep — but each cell executes directly against the event simulator
+// because the analysis consumes the windowed throughput series, which
+// the aggregate scenario summary deliberately does not carry.
 func Convergence(o Options) (*Table, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
 	phy := model.PaperPHY()
 	mdl := model.PPersistent{PHY: phy}
+	warmup := scenario.Duration(o.Warmup)
+	g := &sweep.Grid{
+		Name: "convergence",
+		Base: scenario.Spec{
+			Topology: scenario.TopologySpec{Kind: scenario.TopoConnected, Radius: 8},
+			Duration: scenario.Duration(o.Duration),
+			Warmup:   &warmup,
+			Seeds:    o.Seeds,
+			Seed:     1,
+		},
+		Axes: []sweep.Axis{
+			{Field: sweep.FieldNodes, Values: sweep.Ints(o.Nodes...)},
+			{Field: sweep.FieldScheme, Values: sweep.Strings(string(SchemeWTOP), string(SchemeTORA))},
+		},
+	}
+	pts, err := sweep.Expand(g)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:    "convergence",
 		Title: "time to reach and hold 90% of the analytic optimum (connected)",
 		Columns: []string{"nodes", "scheme", "converged", "t90 (s)",
 			"steady Mbps", "efficiency", "steady σ (Mbps)"},
 	}
-	for _, n := range o.Nodes {
+	for _, pt := range pts {
+		n := pt.Spec.Topology.N
+		sch := Scheme(pt.Spec.Scheme)
 		target := mdl.MaxThroughput(model.UnitWeights(n))
-		for _, sch := range []Scheme{SchemeWTOP, SchemeTORA} {
-			var t90, eff, steady, sigma stats.Welford
-			converged := 0
-			for seed := 1; seed <= o.Seeds; seed++ {
-				tp := buildTopology(TopoConnected, n, int64(seed))
-				s, err := buildSim(sch, tp, int64(seed))
-				if err != nil {
-					return nil, err
-				}
-				res := s.Run(o.Duration)
-				rep := stats.AnalyzeConvergence(&res.ThroughputSeries, target, stats.ConvergenceOptions{})
-				if rep.Converged {
-					converged++
-					t90.Add(rep.TimeToWithin.Seconds())
-				}
-				eff.Add(rep.Efficiency)
-				steady.Add(rep.SteadyMean)
-				sigma.Add(rep.SteadyStdDev)
+		var t90, eff, steady, sigma stats.Welford
+		converged := 0
+		for r := 0; r < pt.Spec.Seeds; r++ {
+			seed := pt.Spec.Seed + int64(r)
+			tp, err := scenario.BuildTopology(&pt.Spec.Topology, seed)
+			if err != nil {
+				return nil, err
 			}
-			t90Cell := "-"
-			if t90.N() > 0 {
-				t90Cell = fmt.Sprintf("%.1f", t90.Mean())
+			s, err := buildSim(sch, tp, seed)
+			if err != nil {
+				return nil, err
 			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%d", n),
-				string(sch),
-				fmt.Sprintf("%d/%d", converged, o.Seeds),
-				t90Cell,
-				fmt.Sprintf("%.3f", steady.Mean()/1e6),
-				fmt.Sprintf("%.3f", eff.Mean()),
-				fmt.Sprintf("%.3f", sigma.Mean()/1e6),
-			})
+			res := s.Run(o.Duration)
+			rep := stats.AnalyzeConvergence(&res.ThroughputSeries, target, stats.ConvergenceOptions{})
+			if rep.Converged {
+				converged++
+				t90.Add(rep.TimeToWithin.Seconds())
+			}
+			eff.Add(rep.Efficiency)
+			steady.Add(rep.SteadyMean)
+			sigma.Add(rep.SteadyStdDev)
 		}
+		t90Cell := "-"
+		if t90.N() > 0 {
+			t90Cell = fmt.Sprintf("%.1f", t90.Mean())
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			string(sch),
+			fmt.Sprintf("%d/%d", converged, pt.Spec.Seeds),
+			t90Cell,
+			fmt.Sprintf("%.3f", steady.Mean()/1e6),
+			fmt.Sprintf("%.3f", eff.Mean()),
+			fmt.Sprintf("%.3f", sigma.Mean()/1e6),
+		})
 	}
 	t.Notes = append(t.Notes,
 		"extension: quantifies Section VI-D; target = analytic optimum S(p*) per N",

@@ -4,84 +4,112 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/eventsim"
-	"repro/internal/mac"
 	"repro/internal/model"
+	"repro/internal/scenario"
+	"repro/internal/scheme"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
-// churnSchedule is the node-arrival/departure script of Figs. 8–11: the
+// churnPhases is the node-arrival/departure script of Figs. 8–11: the
 // active-station count steps through phases of equal length.
 var churnPhases = []int{10, 30, 60, 20, 40}
 
-// runChurn executes a dynamic-N scenario for the given scheme on a
-// connected or hidden topology and returns the simulation result. The
-// total run is len(churnPhases) phases of o.Duration each.
-func runChurn(o Options, scheme Scheme, kind Topo, seed int64) (*eventsim.Result, error) {
+// churnGrid states the dynamic-N scenario declaratively: the churn
+// schedule as a base spec, with the topology family (connected vs the
+// 16 m hidden-node disc — the radii are the families' defaults) as the
+// swept axis.
+func churnGrid(o Options, sch Scheme) *sweep.Grid {
 	maxN := 0
 	for _, n := range churnPhases {
 		if n > maxN {
 			maxN = n
 		}
 	}
-	phy := model.PaperPHY()
-	back := model.PaperBackoff()
-	tp := buildTopology(kind, maxN, seed)
-	policies := make([]mac.Policy, maxN)
-	var controller core.Controller
-	switch scheme {
-	case SchemeWTOP:
-		for i := range policies {
-			policies[i] = mac.NewPPersistent(1, 0.1)
-		}
-		controller = core.NewWTOP(core.WTOPConfig{Scale: phy.BitRate})
-	case SchemeTORA:
-		for i := range policies {
-			policies[i] = mac.NewRandomReset(back.CWMin, back.M, 0, 1)
-		}
-		controller = core.NewTORA(core.TORAConfig{M: back.M, Scale: phy.BitRate})
-	default:
-		return nil, fmt.Errorf("experiment: churn scenario supports wTOP/TORA, not %q", scheme)
+	churn := make([]scenario.ChurnStep, len(churnPhases))
+	for i, n := range churnPhases {
+		churn[i] = scenario.ChurnStep{At: scenario.Duration(o.Duration) * scenario.Duration(i), Active: n}
 	}
-	s, err := eventsim.New(eventsim.Config{
-		PHY:           phy,
-		Topology:      tp,
-		Policies:      policies,
-		Controller:    controller,
-		Seed:          seed,
-		InitialActive: churnPhases[0],
-	})
+	return &sweep.Grid{
+		Name: "churn-" + string(sch),
+		Base: scenario.Spec{
+			Scheme:   string(sch),
+			Topology: scenario.TopologySpec{N: maxN},
+			Churn:    churn,
+			Duration: scenario.Duration(o.Duration) * scenario.Duration(len(churnPhases)),
+			Seeds:    1,
+			Seed:     1,
+		},
+		Axes: []sweep.Axis{
+			{Field: sweep.FieldTopology, Values: sweep.Strings(scenario.TopoConnected, scenario.TopoDisc)},
+		},
+	}
+}
+
+// runChurn executes one expanded churn point against the event
+// simulator directly: the figure consumes the windowed throughput,
+// control and active-station series, which the aggregate scenario
+// summary does not carry. The churn step at t=0 becomes the initial
+// active count; later steps schedule SetActiveAt.
+func runChurn(sp *scenario.Spec) (*eventsim.Result, error) {
+	tp, err := scenario.BuildTopology(&sp.Topology, sp.Seed)
 	if err != nil {
 		return nil, err
 	}
-	for i, n := range churnPhases[1:] {
-		at := sim.Time(o.Duration) * sim.Time(i+1)
-		if err := s.SetActiveAt(at, n); err != nil {
+	policies, controller, err := scheme.Build(sp.Scheme, nil, tp.N())
+	if err != nil {
+		return nil, err
+	}
+	if controller == nil {
+		return nil, fmt.Errorf("experiment: churn scenario supports wTOP/TORA, not %q", sp.Scheme)
+	}
+	cfg := eventsim.Config{
+		PHY:        model.PaperPHY(),
+		Topology:   tp,
+		Policies:   policies,
+		Controller: controller,
+		Seed:       sp.Seed,
+	}
+	steps := sp.Churn
+	if len(steps) > 0 && steps[0].At == 0 {
+		cfg.InitialActive = steps[0].Active
+		steps = steps[1:]
+	}
+	s, err := eventsim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, step := range steps {
+		if err := s.SetActiveAt(sim.Time(step.At), step.Active); err != nil {
 			return nil, err
 		}
 	}
-	total := o.Duration * sim.Duration(len(churnPhases))
-	return s.Run(total), nil
+	return s.Run(sim.Duration(sp.Duration)), nil
 }
 
 // churnTable renders the throughput/control/active time series of a
 // churn run — one table covering both of the paper's paired figures
 // (throughput vs. time and control variable vs. time).
-func churnTable(o Options, id, title string, scheme Scheme) (*Table, error) {
+func churnTable(o Options, id, title string, sch Scheme) (*Table, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	connected, err := runChurn(o, scheme, TopoConnected, 1)
+	pts, err := sweep.Expand(churnGrid(o, sch))
 	if err != nil {
 		return nil, err
 	}
-	hidden, err := runChurn(o, scheme, TopoDisc16, 1)
+	// Expansion order follows the topology axis: connected then disc.
+	connected, err := runChurn(&pts[0].Spec)
+	if err != nil {
+		return nil, err
+	}
+	hidden, err := runChurn(&pts[1].Spec)
 	if err != nil {
 		return nil, err
 	}
 	control := "p"
-	if scheme == SchemeTORA {
+	if sch == SchemeTORA {
 		control = "p0"
 	}
 	t := &Table{

@@ -12,12 +12,14 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/eventsim"
 	"repro/internal/model"
 	"repro/internal/scenario"
 	"repro/internal/scheme"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/topo"
 )
 
@@ -34,6 +36,10 @@ type Options struct {
 	Nodes []int
 	// Parallelism bounds concurrent simulation runs (0 = GOMAXPROCS).
 	Parallelism int
+	// CacheDir, when set, backs every grid-shaped figure sweep with the
+	// content-addressed sweep cache: re-running a figure (or another
+	// figure sharing points) skips completed (spec, engine) cells.
+	CacheDir string
 }
 
 // Quick returns laptop-scale options: minutes for the full suite. The
@@ -59,15 +65,35 @@ func Paper() Options {
 	}
 }
 
+// Validate bounds-checks the options. CLIs call this up front — before
+// any figure starts simulating — so an override like `-duration 1ns`
+// or a hostile seed count fails with one clear message instead of deep
+// inside a figure run.
+func (o Options) Validate() error { return o.validate() }
+
 func (o Options) validate() error {
 	if o.Duration <= 0 || o.Warmup < 0 || o.Warmup >= o.Duration {
 		return fmt.Errorf("experiment: invalid duration/warmup %v/%v", o.Duration, o.Warmup)
 	}
-	if o.Seeds < 1 {
-		return fmt.Errorf("experiment: seeds %d < 1", o.Seeds)
+	// A run shorter than one controller window cannot produce a single
+	// windowed sample; figure math (converged means, series analysis)
+	// degenerates to NaN long after the engines accepted it.
+	if o.Duration < 250*sim.Millisecond {
+		return fmt.Errorf("experiment: duration %v below the 250ms controller window", o.Duration)
+	}
+	if o.Duration > sim.Duration(scenario.MaxDuration) {
+		return fmt.Errorf("experiment: duration %v exceeds the %v limit", o.Duration, time.Duration(scenario.MaxDuration))
+	}
+	if o.Seeds < 1 || o.Seeds > scenario.MaxSeeds {
+		return fmt.Errorf("experiment: seeds %d outside [1, %d]", o.Seeds, scenario.MaxSeeds)
 	}
 	if len(o.Nodes) == 0 {
 		return fmt.Errorf("experiment: empty node sweep")
+	}
+	for _, n := range o.Nodes {
+		if n < 1 || n > scenario.MaxStations {
+			return fmt.Errorf("experiment: node count %d outside [1, %d]", n, scenario.MaxStations)
+		}
 	}
 	return nil
 }
@@ -204,49 +230,70 @@ func topologySpec(kind Topo, n int) (scenario.TopologySpec, error) {
 	}
 }
 
-// sweep evaluates mean converged throughput for each (scheme, n) over
-// o.Seeds seeds. Every (scheme, n) cell becomes one declarative scenario
-// and the whole sweep fans out through scenario.Runner.RunBatch — the
-// repository's single simulation fan-out path.
-func sweep(o Options, kind Topo, schemes []Scheme) (map[Scheme]map[int]float64, error) {
-	type key struct {
-		sch Scheme
-		n   int
+// grid translates (Options, topology family, schemes) into the
+// declarative sweep form: a base spec plus scheme × nodes axes. Every
+// figure sweep is expressed this way, so the figure pipeline, the
+// sweep CLI and sharded CI runs share one expansion, one naming scheme
+// and one cache key per (spec, engine) cell.
+func grid(o Options, name string, kind Topo, schemes []Scheme) (*sweep.Grid, error) {
+	ts, err := topologySpec(kind, 0) // the nodes axis supplies N
+	if err != nil {
+		return nil, err
 	}
-	var (
-		specs []*scenario.Spec
-		keys  []key
-	)
 	warmup := scenario.Duration(o.Warmup)
-	for _, sch := range schemes {
-		for _, n := range o.Nodes {
-			ts, err := topologySpec(kind, n)
-			if err != nil {
-				return nil, err
-			}
-			specs = append(specs, &scenario.Spec{
-				Name:     fmt.Sprintf("%s-%s-n%d", sch, kind, n),
-				Scheme:   string(sch),
-				Topology: ts,
-				Duration: scenario.Duration(o.Duration),
-				Warmup:   &warmup,
-				Seeds:    o.Seeds,
-				Seed:     1, // replication r runs with seed 1+r, as before
-			})
-			keys = append(keys, key{sch, n})
+	return &sweep.Grid{
+		Name: name,
+		Base: scenario.Spec{
+			Topology: ts,
+			Duration: scenario.Duration(o.Duration),
+			Warmup:   &warmup,
+			Seeds:    o.Seeds,
+			Seed:     1, // replication r runs with seed 1+r, as before
+		},
+		Axes: []sweep.Axis{
+			{Field: sweep.FieldScheme, Values: sweep.Strings(schemeNames(schemes)...)},
+			{Field: sweep.FieldNodes, Values: sweep.Ints(o.Nodes...)},
+		},
+	}, nil
+}
+
+// sweepRunner builds the grid executor for these options.
+func (o Options) sweepRunner() (*sweep.Runner, error) {
+	r := &sweep.Runner{Parallelism: o.Parallelism}
+	if o.CacheDir != "" {
+		c, err := sweep.OpenCache(o.CacheDir)
+		if err != nil {
+			return nil, err
 		}
+		r.Cache = c
 	}
-	r := scenario.Runner{Parallelism: o.Parallelism}
-	sums, err := r.RunBatch(specs)
+	return r, nil
+}
+
+// runSweep evaluates mean converged throughput for each (scheme, n)
+// over o.Seeds seeds. The grid expands through internal/sweep and every
+// point fans out through scenario.Runner.RunBatch — the repository's
+// single simulation fan-out path — with optional result caching.
+func runSweep(o Options, name string, kind Topo, schemes []Scheme) (map[Scheme]map[int]float64, error) {
+	g, err := grid(o, name, kind, schemes)
+	if err != nil {
+		return nil, err
+	}
+	r, err := o.sweepRunner()
+	if err != nil {
+		return nil, err
+	}
+	results, _, err := r.Run(g)
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[Scheme]map[int]float64)
-	for i, k := range keys {
-		if out[k.sch] == nil {
-			out[k.sch] = make(map[int]float64)
+	for _, pr := range results {
+		sch := Scheme(pr.Spec.Scheme)
+		if out[sch] == nil {
+			out[sch] = make(map[int]float64)
 		}
-		out[k.sch][k.n] = sums[i].ConvergedMbps.Mean * 1e6
+		out[sch][pr.Spec.Topology.N] = pr.Summary.ConvergedMbps.Mean * 1e6
 	}
 	return out, nil
 }
@@ -256,7 +303,7 @@ func sweepTable(o Options, id, title string, kind Topo, schemes []Scheme) (*Tabl
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	data, err := sweep(o, kind, schemes)
+	data, err := runSweep(o, id, kind, schemes)
 	if err != nil {
 		return nil, err
 	}

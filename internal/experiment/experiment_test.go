@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // tinyOptions keeps experiment tests fast: the goal here is correctness
@@ -25,6 +26,15 @@ func TestOptionsValidate(t *testing.T) {
 		{Duration: sim.Second, Warmup: 2 * sim.Second, Seeds: 1, Nodes: []int{5}},
 		{Duration: sim.Second, Seeds: 0, Nodes: []int{5}},
 		{Duration: sim.Second, Seeds: 1},
+		// CLI-override typos must fail up front, not deep inside a run:
+		// a 1ns duration, hostile seed counts, out-of-range node counts.
+		{Duration: 1, Seeds: 1, Nodes: []int{5}},
+		{Duration: 100 * sim.Millisecond, Seeds: 1, Nodes: []int{5}},
+		{Duration: sim.Second, Seeds: 1 << 30, Nodes: []int{5}},
+		{Duration: sim.Second, Seeds: -3, Nodes: []int{5}},
+		{Duration: sim.Second, Seeds: 1, Nodes: []int{0}},
+		{Duration: sim.Second, Seeds: 1, Nodes: []int{5, 100000}},
+		{Duration: 48 * 3600 * sim.Second, Warmup: sim.Second, Seeds: 1, Nodes: []int{5}},
 	}
 	for i, o := range bad {
 		if err := o.validate(); err == nil {
@@ -36,6 +46,10 @@ func TestOptionsValidate(t *testing.T) {
 	}
 	if err := Paper().validate(); err != nil {
 		t.Errorf("Paper() invalid: %v", err)
+	}
+	// The exported wrapper is what CLIs call before simulating.
+	if err := (Options{Duration: 1, Seeds: 1, Nodes: []int{5}}).Validate(); err == nil {
+		t.Error("exported Validate accepted a 1ns duration")
 	}
 }
 
@@ -198,7 +212,14 @@ func TestChurnRunsAndTracksN(t *testing.T) {
 		t.Skip("runs simulations")
 	}
 	o := tinyOptions()
-	res, err := runChurn(o, SchemeWTOP, TopoConnected, 1)
+	pts, err := sweep.Expand(churnGrid(o, SchemeWTOP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("churn grid expanded to %d points, want 2 topologies", len(pts))
+	}
+	res, err := runChurn(&pts[0].Spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +233,11 @@ func TestChurnRunsAndTracksN(t *testing.T) {
 			t.Errorf("active series never showed %d stations", n)
 		}
 	}
-	if _, err := runChurn(o, SchemeDCF, TopoConnected, 1); err == nil {
+	dcf, err := sweep.Expand(churnGrid(o, SchemeDCF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runChurn(&dcf[0].Spec); err == nil {
 		t.Error("churn accepted a non-adaptive scheme")
 	}
 }

@@ -20,11 +20,11 @@ func Fig1(o Options) (*Table, error) {
 		return nil, err
 	}
 	schemes := []Scheme{SchemeIdleSense, SchemeDCF}
-	conn, err := sweep(o, TopoConnected, schemes)
+	conn, err := runSweep(o, "fig1-connected", TopoConnected, schemes)
 	if err != nil {
 		return nil, err
 	}
-	hid, err := sweep(o, TopoDisc16, schemes)
+	hid, err := runSweep(o, "fig1-hidden", TopoDisc16, schemes)
 	if err != nil {
 		return nil, err
 	}

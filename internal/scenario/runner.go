@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/eventsim"
 	"repro/internal/model"
@@ -24,6 +25,17 @@ type Runner struct {
 	// Parallelism bounds concurrently running replications
 	// (0 = GOMAXPROCS).
 	Parallelism int
+
+	// runRep overrides replication execution in tests (nil = the real
+	// simulation).
+	runRep func(sp *Spec, rep int) (*replication, error)
+}
+
+func (r *Runner) replicate(sp *Spec, rep int) (*replication, error) {
+	if r.runRep != nil {
+		return r.runRep(sp, rep)
+	}
+	return runReplication(sp, rep)
 }
 
 func (r *Runner) parallelism() int {
@@ -77,6 +89,7 @@ func (r *Runner) RunBatch(specs []*Spec) ([]*Summary, error) {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
+		failed   atomic.Bool
 		firstErr error
 		firstJob = len(jobs) // index of the erroring job, for determinism
 	)
@@ -90,10 +103,27 @@ func (r *Runner) RunBatch(specs []*Spec) ([]*Summary, error) {
 		go func() {
 			defer wg.Done()
 			for ji := range ch {
+				// Fail fast: once any replication has errored, drain the
+				// remaining jobs without simulating them — but only jobs
+				// above the currently recorded erroring index. A job
+				// below it must still run (it may itself error with a
+				// lower index), which keeps the reported error exactly
+				// min-over-erroring-jobs for every scheduling: the
+				// globally lowest erroring index can never be skipped,
+				// because skipping requires an even lower recorded one.
+				if failed.Load() {
+					mu.Lock()
+					skip := firstErr != nil && ji > firstJob
+					mu.Unlock()
+					if skip {
+						continue
+					}
+				}
 				j := jobs[ji]
-				rep, err := runReplication(specs[j.si], j.rep)
+				rep, err := r.replicate(specs[j.si], j.rep)
 				mu.Lock()
 				if err != nil {
+					failed.Store(true)
 					// Keep the error of the lowest job index so the
 					// reported failure does not depend on scheduling.
 					if ji < firstJob {

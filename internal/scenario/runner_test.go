@@ -2,7 +2,10 @@ package scenario
 
 import (
 	"bytes"
+	"errors"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -172,6 +175,77 @@ func TestRunnerReportsSpecErrors(t *testing.T) {
 	r := Runner{}
 	if _, err := r.Run(&Spec{Name: "bad", Topology: TopologySpec{Kind: "torus", N: 3}}); err == nil {
 		t.Error("invalid spec did not error")
+	}
+}
+
+// After the first replication error, the batch must fail fast — the
+// remaining jobs drain without simulating — while the reported error
+// stays the deterministic lowest-job-index one: jobs are dispatched in
+// index order, so everything below the erroring index already started
+// and only higher-indexed (irrelevant) jobs are skipped.
+func TestRunBatchFailsFast(t *testing.T) {
+	const seeds = 2000
+	specs := []*Spec{{
+		Name:     "failfast",
+		Topology: TopologySpec{Kind: TopoConnected, N: 2},
+		Duration: Duration(time.Second),
+		Seeds:    seeds,
+	}}
+	var simulated atomic.Int64
+	r := Runner{
+		Parallelism: 8,
+		runRep: func(sp *Spec, rep int) (*replication, error) {
+			if rep == 0 {
+				return nil, errors.New("boom")
+			}
+			simulated.Add(1)
+			time.Sleep(100 * time.Microsecond)
+			return nil, nil
+		},
+	}
+	_, err := r.RunBatch(specs)
+	if err == nil {
+		t.Fatal("batch with a failing replication returned nil error")
+	}
+	// Determinism: always the lowest job index (scenario 0, replication
+	// 0), regardless of scheduling.
+	want := `scenario "failfast" replication 0: boom`
+	if err.Error() != want {
+		t.Errorf("error %q, want %q", err, want)
+	}
+	// Fail fast: the vast majority of the batch was drained, not run.
+	// Workers that already picked up a job may finish it, so allow a
+	// small scheduling-dependent margin.
+	if n := simulated.Load(); n > seeds/10 {
+		t.Errorf("%d of %d replications simulated after the failure — no fail-fast", n, seeds)
+	}
+}
+
+// The lowest-index error wins even when a later job errors first in
+// wall-clock time.
+func TestRunBatchKeepsLowestIndexError(t *testing.T) {
+	specs := []*Spec{{
+		Name:     "order",
+		Topology: TopologySpec{Kind: TopoConnected, N: 2},
+		Duration: Duration(time.Second),
+		Seeds:    8,
+	}}
+	r := Runner{
+		Parallelism: 4,
+		runRep: func(sp *Spec, rep int) (*replication, error) {
+			switch rep {
+			case 0:
+				time.Sleep(5 * time.Millisecond) // errors last in wall-clock time
+				return nil, errors.New("slow low-index failure")
+			case 5:
+				return nil, errors.New("fast high-index failure")
+			}
+			return nil, nil
+		},
+	}
+	_, err := r.RunBatch(specs)
+	if err == nil || !strings.Contains(err.Error(), "replication 0") {
+		t.Errorf("reported %v, want the replication-0 error", err)
 	}
 }
 

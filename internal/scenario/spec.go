@@ -286,6 +286,12 @@ func (su *Suite) withDefaults() error {
 	return nil
 }
 
+// Validate checks the spec and fills every default in place. It is
+// idempotent, so already-defaulted specs pass unchanged. Programmatic
+// builders (the sweep expander, CLIs) call this; Decode applies it to
+// every file-sourced spec automatically.
+func (sp *Spec) Validate() error { return sp.withDefaults() }
+
 // withDefaults validates the spec and fills defaults in place. It is
 // idempotent, so already-defaulted specs pass unchanged.
 func (sp *Spec) withDefaults() error {
@@ -510,11 +516,29 @@ func (sp Spec) Quick() Spec {
 		ratio := float64(quickDuration) / float64(q.Duration)
 		if q.Warmup != nil {
 			w := Duration(float64(*q.Warmup) * ratio)
+			// Warmup and Duration scale independently through float
+			// truncation, so clamp to keep the warmup < duration
+			// invariant: a spec that validated at full scale must stay
+			// valid at quick scale.
+			if w >= quickDuration {
+				w = quickDuration - 1
+			}
+			if w < 0 {
+				w = 0
+			}
 			q.Warmup = &w
 		}
 		q.Churn = append([]ChurnStep(nil), sp.Churn...)
 		for i := range q.Churn {
-			q.Churn[i].At = Duration(float64(q.Churn[i].At) * ratio)
+			at := Duration(float64(q.Churn[i].At) * ratio)
+			// Same clamp for the at ≤ duration invariant.
+			if at > quickDuration {
+				at = quickDuration
+			}
+			if at < 0 {
+				at = 0
+			}
+			q.Churn[i].At = at
 		}
 		// An explicit controller window must stay inside the shortened
 		// run (and above the 1 ms validation floor) so a spec that is

@@ -196,6 +196,59 @@ func TestQuickScaling(t *testing.T) {
 	}
 }
 
+// Quick scales Warmup and Duration independently through float64
+// truncation, so the warmup < duration and churn ≤ duration invariants
+// need an explicit clamp: any spec that validated at full scale must
+// stay valid at quick scale, including durations barely above the 3 s
+// quick cap where the scaled warmup lands within rounding distance of
+// the new duration.
+func TestQuickClampsSmallDurations(t *testing.T) {
+	quick := Duration(3 * time.Second)
+	durations := []Duration{
+		quick + 1,
+		quick + Duration(time.Nanosecond),
+		quick + Duration(3*time.Nanosecond),
+		quick + Duration(time.Microsecond),
+		quick + Duration(333*time.Millisecond),
+		Duration(3141592653),
+		Duration(4 * time.Second),
+		Duration(5*time.Second) - 1,
+		Duration(24 * time.Hour),
+	}
+	for _, d := range durations {
+		t.Run(time.Duration(d).String(), func(t *testing.T) {
+			sp := Spec{
+				Name:     "edge",
+				Topology: TopologySpec{Kind: TopoConnected, N: 2},
+				Duration: d,
+				Warmup:   durp(d - 1), // as close to the invariant edge as valid
+				Churn: []ChurnStep{
+					{At: 0, Active: 1},
+					{At: d - 1, Active: 2},
+					{At: d, Active: 2},
+				},
+			}
+			if err := sp.withDefaults(); err != nil {
+				t.Fatalf("full-scale spec invalid: %v", err)
+			}
+			q := sp.Quick()
+			if err := q.withDefaults(); err != nil {
+				t.Errorf("quick-scaled spec no longer validates: %v", err)
+			}
+			if *q.Warmup >= q.Duration {
+				t.Errorf("warmup %v >= duration %v after quick scaling",
+					time.Duration(*q.Warmup), time.Duration(q.Duration))
+			}
+			for i, c := range q.Churn {
+				if c.At > q.Duration {
+					t.Errorf("churn[%d].at %v > duration %v after quick scaling",
+						i, time.Duration(c.At), time.Duration(q.Duration))
+				}
+			}
+		})
+	}
+}
+
 // An explicit "warmup": 0 means "average the whole run" and must not be
 // silently replaced by the Duration/2 default.
 func TestExplicitZeroWarmup(t *testing.T) {

@@ -1,0 +1,115 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func validSpec(t *testing.T) *scenario.Spec {
+	t.Helper()
+	sp := &scenario.Spec{
+		Name:     "cache-spec",
+		Topology: scenario.TopologySpec{Kind: scenario.TopoConnected, N: 4},
+		Duration: scenario.Duration(100e6),
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestCachePutGetRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := validSpec(t)
+	key := specKey(sp)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	sum := &scenario.Summary{Name: "original", Scheme: sp.Scheme, Stations: 4, Replications: 1,
+		Duration: sp.Duration, Warmup: *sp.Warmup}
+	sum.ThroughputMbps.Mean = 12.5
+	if err := c.Put(key, sp, sum); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if got.ThroughputMbps.Mean != 12.5 || got.Stations != 4 {
+		t.Errorf("round trip mangled summary: %+v", got)
+	}
+}
+
+func TestCacheMissesOnCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := validSpec(t)
+	key := specKey(sp)
+	if err := c.Put(key, sp, &scenario.Summary{}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the entry as a killed pre-atomic writer might have.
+	path := filepath.Join(dir, key[:2], key+".json")
+	if err := os.WriteFile(path, []byte(`{"engine": "wlansim-`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Error("corrupt entry served as a hit")
+	}
+}
+
+func TestCacheMissesOnEngineVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := validSpec(t)
+	key := specKey(sp)
+	if err := c.Put(key, sp, &scenario.Summary{}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := strings.Replace(string(data), EngineVersion, "wlansim-engine/0", 1)
+	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Error("stale-engine entry served as a hit")
+	}
+}
+
+func TestSpecKeyIgnoresNameAndDescription(t *testing.T) {
+	a := validSpec(t)
+	b := validSpec(t)
+	b.Name = "entirely-different"
+	b.Description = "docs"
+	if specKey(a) != specKey(b) {
+		t.Error("name/description changed the cache key")
+	}
+	c := validSpec(t)
+	c.Seed = 2
+	if specKey(a) == specKey(c) {
+		t.Error("different seeds share a cache key")
+	}
+}
+
+func TestOpenCacheRejectsEmptyDir(t *testing.T) {
+	if _, err := OpenCache(""); err == nil {
+		t.Error("empty cache dir accepted")
+	}
+}

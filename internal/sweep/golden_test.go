@@ -1,0 +1,72 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden sweep fixtures")
+
+const (
+	sweepsDir      = "../../examples/sweeps"
+	sweepGoldenDir = "../../examples/sweeps/golden"
+)
+
+// Every checked-in example sweep must reproduce its committed JSONL
+// byte for byte — the same contract CI enforces through the CLI with a
+// two-shard run, a merge, and a warm-cache re-run. Run with -update
+// after an intentional behaviour change to regenerate the fixtures.
+func TestSmokeSweepGolden(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(sweepsDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no sweep grids under %s", sweepsDir)
+	}
+	for _, p := range paths {
+		name := filepath.Base(p)
+		name = name[:len(name)-len(".json")]
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			st, err := (&Runner{}).Stream(g, &got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Simulated != st.Owned || st.Owned != st.Total {
+				t.Errorf("uncached run stats: %+v", st)
+			}
+
+			goldenPath := filepath.Join(sweepGoldenDir, name+".jsonl")
+			if *update {
+				if err := os.MkdirAll(sweepGoldenDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, got.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", goldenPath)
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("sweep output drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+					goldenPath, got.Bytes(), want)
+			}
+		})
+	}
+}

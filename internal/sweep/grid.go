@@ -1,0 +1,431 @@
+// Package sweep is the declarative parameter-grid layer over scenario
+// specs: a Grid names a base Spec plus axes (station counts, scheme,
+// arrival rate, frame-error rate, RTS/CTS, topology parameters, ...),
+// and the package expands the cross-product into concrete scenario
+// specs with canonical names, executes them through the scenario
+// runner's single fan-out path, streams one JSONL result row per
+// point, and backs execution with a content-addressed on-disk cache so
+// re-runs and resumed runs skip completed points. A grid can be
+// partitioned into deterministic shards (point index mod shard count)
+// whose merged outputs are byte-identical to an unsharded run — the
+// substrate for splitting large studies across CI machines.
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"slices"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Grid is the on-disk sweep format: a base scenario plus axes whose
+// cross-product defines the points. The base need not validate on its
+// own (axes may supply required dimensions like the station count);
+// every expanded point must.
+type Grid struct {
+	// Name prefixes every point's canonical name.
+	Name string `json:"name,omitempty"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+	// Base is the scenario every point starts from.
+	Base scenario.Spec `json:"base"`
+	// Axes are applied in order; the last axis varies fastest.
+	Axes []Axis `json:"axes"`
+}
+
+// Axis is one swept dimension: a field name from the Field* constants
+// and the values it takes.
+type Axis struct {
+	Field  string            `json:"field"`
+	Values []json.RawMessage `json:"values"`
+}
+
+// Axis field names. Each sets one dimension of the expanded spec.
+const (
+	FieldNodes          = "nodes"            // topology.n (int)
+	FieldScheme         = "scheme"           // channel-access scheme (string)
+	FieldRate           = "rate"             // arrival rate of every traffic entry (float, pkts/s)
+	FieldFrameErrorRate = "frame_error_rate" // i.i.d. data-frame loss (float)
+	FieldRTSCTS         = "rtscts"           // RTS/CTS exchange (bool)
+	FieldTopology       = "topology"         // topology.kind (string)
+	FieldRadius         = "radius"           // topology.radius (float, metres)
+	FieldSeparation     = "separation"       // topology.separation (float, metres)
+	FieldDuration       = "duration"         // simulated time per replication (duration)
+	FieldSeeds          = "seeds"            // replications per point (int)
+	FieldSeed           = "seed"             // base seed (int)
+	FieldUpdatePeriod   = "update_period"    // controller window Δ (duration)
+)
+
+// Expansion ceilings. Grids come from files, so every dimension that
+// controls memory or CPU is bounded rather than trusted.
+const (
+	// MaxAxes bounds the grid dimensionality.
+	MaxAxes = 8
+	// MaxAxisValues bounds the values per axis.
+	MaxAxisValues = 4096
+	// MaxPoints bounds the expanded cross-product.
+	MaxPoints = 100_000
+	// maxGridBytes bounds the accepted file size.
+	maxGridBytes = 4 << 20
+)
+
+// valueKind is the JSON type an axis field accepts.
+type valueKind int
+
+const (
+	intKind valueKind = iota
+	floatKind
+	boolKind
+	stringKind
+	durationKind
+)
+
+// fieldDef couples an axis field's value type with its spec setter.
+type fieldDef struct {
+	kind  valueKind
+	apply func(sp *scenario.Spec, v any) error
+}
+
+// fieldDefs is the closed set of sweepable fields. Validation happens
+// later, in Spec.withDefaults via Expand, so setters only assign.
+var fieldDefs = map[string]fieldDef{
+	FieldNodes: {intKind, func(sp *scenario.Spec, v any) error {
+		sp.Topology.N = int(v.(int64))
+		return nil
+	}},
+	FieldScheme: {stringKind, func(sp *scenario.Spec, v any) error {
+		sp.Scheme = v.(string)
+		return nil
+	}},
+	FieldRate: {floatKind, func(sp *scenario.Spec, v any) error {
+		if len(sp.Traffic) == 0 {
+			return fmt.Errorf("a %q axis needs a traffic model in the base scenario", FieldRate)
+		}
+		for i := range sp.Traffic {
+			sp.Traffic[i].Rate = v.(float64)
+		}
+		return nil
+	}},
+	FieldFrameErrorRate: {floatKind, func(sp *scenario.Spec, v any) error {
+		sp.FrameErrorRate = v.(float64)
+		return nil
+	}},
+	FieldRTSCTS: {boolKind, func(sp *scenario.Spec, v any) error {
+		sp.RTSCTS = v.(bool)
+		return nil
+	}},
+	FieldTopology: {stringKind, func(sp *scenario.Spec, v any) error {
+		sp.Topology.Kind = v.(string)
+		return nil
+	}},
+	FieldRadius: {floatKind, func(sp *scenario.Spec, v any) error {
+		sp.Topology.Radius = v.(float64)
+		return nil
+	}},
+	FieldSeparation: {floatKind, func(sp *scenario.Spec, v any) error {
+		sp.Topology.Separation = v.(float64)
+		return nil
+	}},
+	FieldDuration: {durationKind, func(sp *scenario.Spec, v any) error {
+		sp.Duration = v.(scenario.Duration)
+		return nil
+	}},
+	FieldSeeds: {intKind, func(sp *scenario.Spec, v any) error {
+		sp.Seeds = int(v.(int64))
+		return nil
+	}},
+	FieldSeed: {intKind, func(sp *scenario.Spec, v any) error {
+		sp.Seed = v.(int64)
+		return nil
+	}},
+	FieldUpdatePeriod: {durationKind, func(sp *scenario.Spec, v any) error {
+		sp.UpdatePeriod = v.(scenario.Duration)
+		return nil
+	}},
+}
+
+// Ints builds axis values from Go ints (programmatic grids).
+func Ints(vs ...int) []json.RawMessage {
+	out := make([]json.RawMessage, len(vs))
+	for i, v := range vs {
+		out[i] = json.RawMessage(strconv.Itoa(v))
+	}
+	return out
+}
+
+// Floats builds axis values from Go floats.
+func Floats(vs ...float64) []json.RawMessage {
+	out := make([]json.RawMessage, len(vs))
+	for i, v := range vs {
+		out[i] = json.RawMessage(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return out
+}
+
+// Strings builds axis values from Go strings.
+func Strings(vs ...string) []json.RawMessage {
+	out := make([]json.RawMessage, len(vs))
+	for i, v := range vs {
+		b, _ := json.Marshal(v)
+		out[i] = b
+	}
+	return out
+}
+
+// Bools builds axis values from Go bools.
+func Bools(vs ...bool) []json.RawMessage {
+	out := make([]json.RawMessage, len(vs))
+	for i, v := range vs {
+		out[i] = json.RawMessage(strconv.FormatBool(v))
+	}
+	return out
+}
+
+// Durations builds axis values from Go durations.
+func Durations(vs ...time.Duration) []json.RawMessage {
+	out := make([]json.RawMessage, len(vs))
+	for i, v := range vs {
+		b, _ := json.Marshal(v.String())
+		out[i] = b
+	}
+	return out
+}
+
+// Fields returns the sweepable axis field names, sorted.
+func Fields() []string {
+	out := make([]string, 0, len(fieldDefs))
+	for f := range fieldDefs {
+		out = append(out, f)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// decodeValue parses one axis value as the field's type. Ints must be
+// exact JSON integers; floats must be finite.
+func decodeValue(kind valueKind, raw json.RawMessage) (any, error) {
+	switch kind {
+	case intKind:
+		var n int64
+		if err := strictValue(raw, &n); err != nil {
+			return nil, fmt.Errorf("want an integer, got %s", raw)
+		}
+		return n, nil
+	case floatKind:
+		var f float64
+		if err := strictValue(raw, &f); err != nil {
+			return nil, fmt.Errorf("want a number, got %s", raw)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("non-finite number %s", raw)
+		}
+		return f, nil
+	case boolKind:
+		var b bool
+		if err := strictValue(raw, &b); err != nil {
+			return nil, fmt.Errorf("want true or false, got %s", raw)
+		}
+		return b, nil
+	case stringKind:
+		var s string
+		if err := strictValue(raw, &s); err != nil {
+			return nil, fmt.Errorf("want a string, got %s", raw)
+		}
+		return s, nil
+	case durationKind:
+		var d scenario.Duration
+		if err := strictValue(raw, &d); err != nil {
+			return nil, fmt.Errorf("want a duration, got %s", raw)
+		}
+		return d, nil
+	}
+	return nil, fmt.Errorf("unknown value kind %d", kind)
+}
+
+// strictValue unmarshals one JSON value rejecting trailing garbage.
+func strictValue(raw json.RawMessage, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data")
+	}
+	return nil
+}
+
+// renderValue is the canonical token of an axis value, used in point
+// names and duplicate detection. The rendering is deterministic: Go's
+// shortest round-trip float formatting and Go duration strings.
+func renderValue(v any) string {
+	switch x := v.(type) {
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	case string:
+		return x
+	case scenario.Duration:
+		return time.Duration(x).String()
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// AxisValue is one resolved (field, value) coordinate of a point.
+type AxisValue struct {
+	Field string
+	Value any
+}
+
+// Point is one expanded grid cell: a fully defaulted, validated
+// scenario spec plus its coordinates and cache key.
+type Point struct {
+	// Index is the point's position in expansion order (first axis
+	// slowest) — the sharding and merge key.
+	Index int
+	// Name is the canonical point name, e.g. "grid/scheme=802.11,nodes=20".
+	Name string
+	// Axes are the point's coordinates in axis order.
+	Axes []AxisValue
+	// Spec is the concrete scenario (defaults applied).
+	Spec scenario.Spec
+	// Key is the content hash of (Spec sans name, engine version) —
+	// the cache address of this point's summary.
+	Key string
+}
+
+// Decode parses and validates a sweep grid file. Unknown fields are
+// rejected; the expansion itself is validated by Expand.
+func Decode(data []byte) (*Grid, error) {
+	if len(data) > maxGridBytes {
+		return nil, fmt.Errorf("sweep: file is %d bytes, limit %d", len(data), maxGridBytes)
+	}
+	g := &Grid{}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(g); err != nil {
+		return nil, fmt.Errorf("sweep: bad grid: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("sweep: trailing data after the grid object")
+	}
+	return g, nil
+}
+
+// Expand realises the grid's cross-product in deterministic order (the
+// last axis varies fastest) and validates every point. The returned
+// specs have all scenario defaults applied, so two grids that describe
+// the same physics expand to identical specs — and identical cache
+// keys — regardless of which defaults they spell out.
+func Expand(g *Grid) ([]*Point, error) {
+	if len(g.Axes) > MaxAxes {
+		return nil, fmt.Errorf("sweep: %d axes exceed the limit %d", len(g.Axes), MaxAxes)
+	}
+	type axis struct {
+		field  string
+		def    fieldDef
+		values []any
+		tokens []string
+	}
+	axes := make([]axis, len(g.Axes))
+	seenField := map[string]bool{}
+	total := 1
+	for i, a := range g.Axes {
+		def, ok := fieldDefs[a.Field]
+		if !ok {
+			return nil, fmt.Errorf("sweep: axis %d: unknown field %q (want one of %s)",
+				i, a.Field, strings.Join(Fields(), ", "))
+		}
+		if seenField[a.Field] {
+			return nil, fmt.Errorf("sweep: duplicate axis field %q", a.Field)
+		}
+		seenField[a.Field] = true
+		if len(a.Values) == 0 {
+			return nil, fmt.Errorf("sweep: axis %q has no values", a.Field)
+		}
+		if len(a.Values) > MaxAxisValues {
+			return nil, fmt.Errorf("sweep: axis %q has %d values, limit %d", a.Field, len(a.Values), MaxAxisValues)
+		}
+		ax := axis{field: a.Field, def: def}
+		seenValue := map[string]bool{}
+		for j, raw := range a.Values {
+			v, err := decodeValue(def.kind, raw)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: axis %q value %d: %w", a.Field, j, err)
+			}
+			tok := renderValue(v)
+			if seenValue[tok] {
+				return nil, fmt.Errorf("sweep: axis %q repeats value %s", a.Field, tok)
+			}
+			seenValue[tok] = true
+			ax.values = append(ax.values, v)
+			ax.tokens = append(ax.tokens, tok)
+		}
+		axes[i] = ax
+		if total > MaxPoints/len(ax.values) {
+			return nil, fmt.Errorf("sweep: grid exceeds %d points", MaxPoints)
+		}
+		total *= len(ax.values)
+	}
+
+	pts := make([]*Point, 0, total)
+	idx := make([]int, len(axes))
+	for pi := 0; pi < total; pi++ {
+		sp := cloneSpec(&g.Base)
+		pt := &Point{Index: pi}
+		var tokens []string
+		for ai := range axes {
+			v := axes[ai].values[idx[ai]]
+			if err := axes[ai].def.apply(&sp, v); err != nil {
+				return nil, fmt.Errorf("sweep: axis %q: %w", axes[ai].field, err)
+			}
+			pt.Axes = append(pt.Axes, AxisValue{Field: axes[ai].field, Value: v})
+			tokens = append(tokens, axes[ai].field+"="+axes[ai].tokens[idx[ai]])
+		}
+		pt.Name = strings.Join(tokens, ",")
+		if g.Name != "" {
+			pt.Name = g.Name + "/" + pt.Name
+		}
+		if pt.Name == "" {
+			pt.Name = "point"
+		}
+		sp.Name = pt.Name
+		if err := sp.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: point %s: %w", pt.Name, err)
+		}
+		pt.Spec = sp
+		pt.Key = specKey(&sp)
+		pts = append(pts, pt)
+		for ai := len(axes) - 1; ai >= 0; ai-- {
+			idx[ai]++
+			if idx[ai] < len(axes[ai].values) {
+				break
+			}
+			idx[ai] = 0
+		}
+	}
+	return pts, nil
+}
+
+// cloneSpec deep-copies a spec so per-point mutations (traffic rate,
+// churn, warmup) cannot alias the base or other points.
+func cloneSpec(sp *scenario.Spec) scenario.Spec {
+	q := *sp
+	if sp.Warmup != nil {
+		w := *sp.Warmup
+		q.Warmup = &w
+	}
+	q.Weights = slices.Clone(sp.Weights)
+	q.Traffic = slices.Clone(sp.Traffic)
+	q.Churn = slices.Clone(sp.Churn)
+	q.Topology.Points = slices.Clone(sp.Topology.Points)
+	return q
+}

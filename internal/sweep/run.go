@@ -1,0 +1,285 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// Shard selects a deterministic partition of the expanded grid: point
+// i belongs to shard i % Count. The zero value means "the whole grid".
+// Shards of the same grid are disjoint and complete, so their merged
+// outputs reproduce an unsharded run byte for byte.
+type Shard struct {
+	Index int
+	Count int
+}
+
+// ParseShard parses the CLI form "i/N" (0 ≤ i < N). The whole string
+// must be consumed: a typo like "0/2.5" errors rather than silently
+// running shard 0/2.
+func ParseShard(s string) (Shard, error) {
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("sweep: shard %q is not of the form i/N", s)
+	}
+	i, errI := strconv.Atoi(is)
+	n, errN := strconv.Atoi(ns)
+	if errI != nil || errN != nil {
+		return Shard{}, fmt.Errorf("sweep: shard %q is not of the form i/N", s)
+	}
+	sh := Shard{Index: i, Count: n}
+	if err := sh.validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
+
+func (sh Shard) validate() error {
+	if sh.Index == 0 && sh.Count == 0 {
+		return nil
+	}
+	if sh.Count < 1 || sh.Index < 0 || sh.Index >= sh.Count {
+		return fmt.Errorf("sweep: shard %d/%d out of range", sh.Index, sh.Count)
+	}
+	return nil
+}
+
+func (sh Shard) owns(i int) bool {
+	if sh.Count <= 1 {
+		return true
+	}
+	return i%sh.Count == sh.Index
+}
+
+// Stats counts how a run's points were satisfied.
+type Stats struct {
+	// Total is the full expanded grid size.
+	Total int
+	// Owned is how many points fell in this run's shard.
+	Owned int
+	// Simulated points ran through the scenario runner this run.
+	Simulated int
+	// Cached points were served from the cache without simulating.
+	Cached int
+}
+
+// String renders the one-line report the CLI prints (CI greps it to
+// prove cache hits, so keep the "N simulated" phrasing stable).
+func (st Stats) String() string {
+	return fmt.Sprintf("%d/%d points (%d simulated, %d cached)",
+		st.Owned, st.Total, st.Simulated, st.Cached)
+}
+
+// PointResult pairs a point with its aggregate summary.
+type PointResult struct {
+	*Point
+	Summary *scenario.Summary
+}
+
+// Row is the JSONL record streamed per point. Its byte encoding is
+// deterministic (sorted map keys, shortest round-trip floats), which
+// is what makes shard merges and golden diffs exact.
+type Row struct {
+	Index   int               `json:"index"`
+	Name    string            `json:"name"`
+	Axes    map[string]any    `json:"axes"`
+	Key     string            `json:"key"`
+	Summary *scenario.Summary `json:"summary"`
+}
+
+// Runner executes sweep grids.
+type Runner struct {
+	// Parallelism bounds concurrent replications (0 = GOMAXPROCS).
+	Parallelism int
+	// Cache, when non-nil, is consulted before and written after every
+	// point.
+	Cache *Cache
+	// Shard restricts execution to one partition (zero = all points).
+	Shard Shard
+	// batch overrides the execution chunk size (tests only).
+	batch int
+}
+
+// pointBatch is how many points feed one RunBatch call. Chunking keeps
+// the worker pool saturated across points while bounding how much work
+// an interrupted run loses: every completed chunk is already in the
+// cache, so a resumed run skips it.
+const pointBatch = 64
+
+// Run executes the grid and returns the shard's results in point
+// order, plus the run statistics.
+func (r *Runner) Run(g *Grid) ([]*PointResult, Stats, error) {
+	var out []*PointResult
+	st, err := r.run(g, func(pr *PointResult) error {
+		out = append(out, pr)
+		return nil
+	})
+	return out, st, err
+}
+
+// Stream executes the grid and writes one JSONL row per owned point,
+// in point order, to w.
+func (r *Runner) Stream(g *Grid, w io.Writer) (Stats, error) {
+	bw := bufio.NewWriter(w)
+	st, err := r.run(g, func(pr *PointResult) error {
+		return writeRow(bw, pr)
+	})
+	if err != nil {
+		bw.Flush()
+		return st, err
+	}
+	return st, bw.Flush()
+}
+
+func writeRow(w io.Writer, pr *PointResult) error {
+	axes := make(map[string]any, len(pr.Axes))
+	for _, av := range pr.Axes {
+		v := av.Value
+		if d, ok := v.(scenario.Duration); ok {
+			v = renderValue(d) // durations as strings, like everywhere else
+		}
+		axes[av.Field] = v
+	}
+	data, err := json.Marshal(&Row{
+		Index:   pr.Index,
+		Name:    pr.Name,
+		Axes:    axes,
+		Key:     pr.Key,
+		Summary: pr.Summary,
+	})
+	if err != nil {
+		return fmt.Errorf("sweep: marshal row: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// run is the chunked execution core: expand, filter to the shard, and
+// for each chunk serve points from the cache where possible, simulate
+// the rest through scenario.Runner.RunBatch (the repository's single
+// fan-out path), persist fresh results, and emit rows in point order.
+func (r *Runner) run(g *Grid, emit func(*PointResult) error) (Stats, error) {
+	var st Stats
+	if err := r.Shard.validate(); err != nil {
+		return st, err
+	}
+	pts, err := Expand(g)
+	if err != nil {
+		return st, err
+	}
+	st.Total = len(pts)
+	var owned []*Point
+	for _, pt := range pts {
+		if r.Shard.owns(pt.Index) {
+			owned = append(owned, pt)
+		}
+	}
+	st.Owned = len(owned)
+
+	batch := r.batch
+	if batch <= 0 {
+		batch = pointBatch
+	}
+	sr := scenario.Runner{Parallelism: r.Parallelism}
+	for start := 0; start < len(owned); start += batch {
+		chunk := owned[start:min(start+batch, len(owned))]
+		sums := make([]*scenario.Summary, len(chunk))
+		var missIdx []int
+		var missSpecs []*scenario.Spec
+		for i, pt := range chunk {
+			if r.Cache != nil {
+				if sum, ok := r.Cache.Get(pt.Key); ok {
+					// The cached name is whatever sweep stored it first;
+					// report under this grid's canonical point name.
+					sum.Name = pt.Name
+					sums[i] = sum
+					st.Cached++
+					continue
+				}
+			}
+			missIdx = append(missIdx, i)
+			missSpecs = append(missSpecs, &chunk[i].Spec)
+		}
+		if len(missSpecs) > 0 {
+			got, err := sr.RunBatch(missSpecs)
+			if err != nil {
+				return st, err
+			}
+			for k, sum := range got {
+				i := missIdx[k]
+				sums[i] = sum
+				st.Simulated++
+				if r.Cache != nil {
+					if err := r.Cache.Put(chunk[i].Key, &chunk[i].Spec, sum); err != nil {
+						return st, err
+					}
+				}
+			}
+		}
+		for i, pt := range chunk {
+			if err := emit(&PointResult{Point: pt, Summary: sums[i]}); err != nil {
+				return st, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// Merge combines shard JSONL outputs into the byte-exact unsharded
+// stream: rows are reordered by point index, verified to form exactly
+// the contiguous range 0..n-1, and written without re-encoding. It
+// returns the merged row count.
+func Merge(w io.Writer, shards ...io.Reader) (int, error) {
+	type rec struct {
+		index int
+		line  []byte
+	}
+	var rows []rec
+	seen := map[int]bool{}
+	for si, sh := range shards {
+		sc := bufio.NewScanner(sh)
+		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+		for sc.Scan() {
+			line := append([]byte(nil), sc.Bytes()...)
+			if len(line) == 0 {
+				continue
+			}
+			var probe struct {
+				Index *int `json:"index"`
+			}
+			if err := json.Unmarshal(line, &probe); err != nil || probe.Index == nil {
+				return 0, fmt.Errorf("sweep: shard %d: not a sweep row: %.80s", si, line)
+			}
+			if seen[*probe.Index] {
+				return 0, fmt.Errorf("sweep: duplicate point index %d across shards", *probe.Index)
+			}
+			seen[*probe.Index] = true
+			rows = append(rows, rec{*probe.Index, line})
+		}
+		if err := sc.Err(); err != nil {
+			return 0, fmt.Errorf("sweep: shard %d: %w", si, err)
+		}
+	}
+	if len(rows) == 0 {
+		return 0, fmt.Errorf("sweep: no rows to merge")
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].index < rows[j].index })
+	for i, r := range rows {
+		if r.index != i {
+			return 0, fmt.Errorf("sweep: shards are incomplete: missing point index %d", i)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	for _, r := range rows {
+		bw.Write(r.line)
+		bw.WriteByte('\n')
+	}
+	return len(rows), bw.Flush()
+}

@@ -1,0 +1,208 @@
+package sweep
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// acceptanceGrid is a ≥100-point sweep of fast (100 ms, 1 seed) runs:
+// 4 schemes × 5 node counts × 3 frame-error rates × 2 RTS/CTS = 120.
+func acceptanceGrid() *Grid {
+	return &Grid{
+		Name: "acceptance",
+		Base: scenario.Spec{
+			Topology: scenario.TopologySpec{Kind: scenario.TopoConnected},
+			Duration: scenario.Duration(100e6),
+			Seeds:    1,
+		},
+		Axes: []Axis{
+			{Field: FieldScheme, Values: Strings("802.11", "IdleSense", "wTOP-CSMA", "TORA-CSMA")},
+			{Field: FieldNodes, Values: Ints(2, 3, 4, 5, 6)},
+			{Field: FieldFrameErrorRate, Values: Floats(0, 0.05, 0.1)},
+			{Field: FieldRTSCTS, Values: Bools(false, true)},
+		},
+	}
+}
+
+// The PR's acceptance property: a ≥100-point sweep run as 2 shards and
+// merged is byte-identical to the unsharded single-run output, and an
+// immediate re-run simulates 0 points (all cache hits).
+func TestShardMergeByteIdenticalAndCacheResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 120 simulations")
+	}
+	g := acceptanceGrid()
+
+	fullCache, err := OpenCache(filepath.Join(t.TempDir(), "full"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	// A small batch size exercises the chunked execution path.
+	r := &Runner{Cache: fullCache, batch: 7}
+	st, err := r.Stream(g, &full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 120 || st.Owned != 120 || st.Simulated != 120 || st.Cached != 0 {
+		t.Fatalf("unsharded stats: %+v", st)
+	}
+
+	// Two shards sharing one cache directory, as CI machines would.
+	shardCache, err := OpenCache(filepath.Join(t.TempDir(), "shared"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s0, s1 bytes.Buffer
+	r0 := &Runner{Cache: shardCache, Shard: Shard{0, 2}, batch: 7}
+	st0, err := r0.Stream(g, &s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := &Runner{Cache: shardCache, Shard: Shard{1, 2}, batch: 7}
+	st1, err := r1.Stream(g, &s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st0.Owned+st1.Owned != 120 || st0.Owned != 60 {
+		t.Fatalf("shard ownership: %+v / %+v", st0, st1)
+	}
+
+	var merged bytes.Buffer
+	n, err := Merge(&merged, &s0, &s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 120 {
+		t.Fatalf("merged %d rows, want 120", n)
+	}
+	if !bytes.Equal(full.Bytes(), merged.Bytes()) {
+		t.Error("merged shard output differs from the unsharded run")
+	}
+
+	// Immediate re-run against the warm cache: zero simulations, same
+	// bytes.
+	var rerun bytes.Buffer
+	st2, err := (&Runner{Cache: fullCache}).Stream(g, &rerun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Simulated != 0 || st2.Cached != 120 {
+		t.Fatalf("re-run stats: %+v (want 0 simulated, 120 cached)", st2)
+	}
+	if !bytes.Equal(full.Bytes(), rerun.Bytes()) {
+		t.Error("cached re-run output differs from the fresh run")
+	}
+
+	// Resume: a third cache warmed by shard 0 only re-simulates shard
+	// 1's points.
+	var resume bytes.Buffer
+	st3, err := (&Runner{Cache: shardCache}).Stream(g, &resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Simulated != 0 || st3.Cached != 120 {
+		t.Fatalf("post-shard full run stats: %+v", st3)
+	}
+	if !bytes.Equal(full.Bytes(), resume.Bytes()) {
+		t.Error("resumed run output differs")
+	}
+}
+
+func TestRunWithoutCache(t *testing.T) {
+	g := &Grid{
+		Name: "plain",
+		Base: scenario.Spec{
+			Topology: scenario.TopologySpec{Kind: scenario.TopoConnected},
+			Duration: scenario.Duration(100e6),
+		},
+		Axes: []Axis{{Field: FieldNodes, Values: Ints(2, 3)}},
+	}
+	results, st, err := (&Runner{}).Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || st.Simulated != 2 || st.Cached != 0 {
+		t.Fatalf("results %d, stats %+v", len(results), st)
+	}
+	for _, pr := range results {
+		if pr.Summary == nil || pr.Summary.Name != pr.Name {
+			t.Errorf("summary missing or misnamed for %s", pr.Name)
+		}
+		if pr.Summary.ThroughputMbps.Mean <= 0 {
+			t.Errorf("%s made no progress", pr.Name)
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	good := map[string]Shard{
+		"0/1": {0, 1},
+		"0/2": {0, 2},
+		"3/4": {3, 4},
+	}
+	for s, want := range good {
+		sh, err := ParseShard(s)
+		if err != nil || sh != want {
+			t.Errorf("ParseShard(%q) = %+v, %v", s, sh, err)
+		}
+	}
+	for _, s := range []string{"", "1", "2/2", "-1/2", "1/0", "a/b", "1/2/3", "0/2.5", "0/2x", "1/2 9", " 0/2"} {
+		if _, err := ParseShard(s); err == nil {
+			t.Errorf("ParseShard(%q) accepted", s)
+		}
+	}
+}
+
+func TestMergeRejectsBadShards(t *testing.T) {
+	row := func(i int) string {
+		return `{"index":` + strings.TrimSpace(string(rune('0'+i))) + `,"name":"x"}` + "\n"
+	}
+	cases := []struct {
+		name   string
+		shards []string
+	}{
+		{"duplicate index", []string{row(0) + row(1), row(1)}},
+		{"gap", []string{row(0) + row(2)}},
+		{"not starting at zero", []string{row(1) + row(2)}},
+		{"garbage line", []string{"not json\n"}},
+		{"missing index key", []string{`{"name":"x"}` + "\n"}},
+		{"empty", []string{""}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inputs := make([]io.Reader, len(tc.shards))
+			for i, s := range tc.shards {
+				inputs[i] = strings.NewReader(s)
+			}
+			var out bytes.Buffer
+			if _, err := Merge(&out, inputs...); err == nil {
+				t.Errorf("merge accepted %q", tc.shards)
+			}
+		})
+	}
+}
+
+func TestMergeSingleShardRoundTrip(t *testing.T) {
+	in := `{"index":0,"name":"a"}` + "\n" + `{"index":1,"name":"b"}` + "\n"
+	var out bytes.Buffer
+	n, err := Merge(&out, strings.NewReader(in))
+	if err != nil || n != 2 {
+		t.Fatalf("merge: n=%d err=%v", n, err)
+	}
+	if out.String() != in {
+		t.Errorf("merge altered bytes:\n%q\nvs\n%q", out.String(), in)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Total: 10, Owned: 5, Simulated: 2, Cached: 3}.String()
+	if !strings.Contains(s, "2 simulated") || !strings.Contains(s, "3 cached") || !strings.Contains(s, "5/10") {
+		t.Errorf("stats string %q", s)
+	}
+}
