@@ -1,0 +1,24 @@
+# Development entry points. CI runs the same commands; see
+# .github/workflows/ci.yml.
+
+.PHONY: test verify bench bench-compare bench-smoke
+
+# Tier-1 verification: everything must build and every test must pass.
+verify:
+	go build ./... && go test ./...
+
+test: verify
+
+# Regenerate the committed benchmark-trajectory point. Run on a quiet
+# machine; the committed file is the baseline CI compares against.
+bench:
+	go run ./cmd/benchreport -out BENCH_PR4.json
+
+# Compare a fresh short-scale run against the committed baseline
+# (warn-only, like the CI step).
+bench-compare:
+	go run ./cmd/benchreport -compare BENCH_PR4.json
+
+# Fast sanity pass: every benchmark must still compile and run.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x ./...

@@ -8,6 +8,8 @@ package repro_test
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"testing"
 
 	"repro/internal/core"
@@ -16,8 +18,10 @@ import (
 	"repro/internal/frame"
 	"repro/internal/mac"
 	"repro/internal/model"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/slotsim"
+	"repro/internal/sweep"
 	"repro/internal/topo"
 	"repro/wlan"
 )
@@ -200,6 +204,29 @@ func BenchmarkAblationEngines(b *testing.B) {
 	})
 }
 
+// BenchmarkSlotSimBianchi measures the slotted engine in the regime the
+// bucketed backoff tracker targets: many DCF (window-policy) stations,
+// where the pre-tracker loop paid an O(N) counter scan and an O(N)
+// decrement per busy period and a per-station resume pass on top.
+func BenchmarkSlotSimBianchi(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ps := make([]mac.Policy, n)
+				for j := range ps {
+					ps[j] = mac.NewStandardDCF(16, 1024)
+				}
+				s, err := slotsim.New(slotsim.Config{Policies: ps, Seed: int64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := s.Run(5 * sim.Second)
+				b.ReportMetric(res.ThroughputMbps(), "Mbps")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationGains compares Kiefer–Wolfowitz gain schedules on the
 // analytic closed loop: the paper's (1/k, k^-1/3) against a faster-
 // annealing and a slower-annealing alternative.
@@ -366,6 +393,80 @@ func BenchmarkEventSimThroughput(b *testing.B) {
 		events += res.EventsFired
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+// BenchmarkSweepSmoke streams the checked-in CI smoke sweep (16 points
+// × 2 replications of 500 ms runs) through the pipelined executor —
+// the end-to-end cost of the sweep path: expansion, the shared worker
+// pool with per-worker simulator arenas, in-order JSONL emission.
+func BenchmarkSweepSmoke(b *testing.B) {
+	data, err := os.ReadFile("examples/sweeps/smoke.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := sweep.Decode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		st, err := (&sweep.Runner{}).Stream(g, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Simulated != st.Total {
+			b.Fatalf("expected all %d points simulated, got %+v", st.Total, st)
+		}
+	}
+}
+
+// BenchmarkSweep120 pipelines a 120-point grid of fast (100 ms, one
+// seed) runs — the PR-3 acceptance shape, dominated by per-point
+// overhead rather than simulation, which is exactly what arena reuse
+// and barrier-free scheduling target.
+func BenchmarkSweep120(b *testing.B) {
+	g := &sweep.Grid{
+		Name: "bench120",
+		Base: scenario.Spec{
+			Topology: scenario.TopologySpec{Kind: scenario.TopoConnected},
+			Duration: scenario.Duration(100e6),
+			Seeds:    1,
+		},
+		Axes: []sweep.Axis{
+			{Field: sweep.FieldScheme, Values: sweep.Strings("802.11", "IdleSense", "wTOP-CSMA", "TORA-CSMA")},
+			{Field: sweep.FieldNodes, Values: sweep.Ints(2, 3, 4, 5, 6)},
+			{Field: sweep.FieldFrameErrorRate, Values: sweep.Floats(0, 0.05, 0.1)},
+			{Field: sweep.FieldRTSCTS, Values: sweep.Bools(false, true)},
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		st, err := (&sweep.Runner{}).Stream(g, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Simulated != 120 {
+			b.Fatalf("expected 120 simulated points, got %+v", st)
+		}
+	}
+}
+
+// BenchmarkScenarioReplications measures the runner's steady state —
+// one spec, many replications through the persistent pool with arena
+// reuse — at a single worker so the per-replication cost is visible.
+func BenchmarkScenarioReplications(b *testing.B) {
+	r := scenario.Runner{Parallelism: 1}
+	defer r.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := &scenario.Spec{
+			Name:     "bench",
+			Topology: scenario.TopologySpec{Kind: scenario.TopoConnected, N: 10},
+			Duration: scenario.Duration(200e6),
+			Seeds:    8,
+		}
+		if _, err := r.Run(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFrameCodec measures Marshal+Decode of the wire format.

@@ -1,0 +1,241 @@
+// Command benchreport runs the repository's benchmark suite at short
+// scale and renders the results as a stable JSON document — the unit of
+// the performance trajectory. Each PR that claims a speedup commits the
+// measured numbers (BENCH_PR4.json is the first point), and CI re-runs
+// the same suite and diffs against the committed baseline, warning on
+// regressions beyond a tolerance without failing the build (shared
+// runners are noisy; the committed history is the authority).
+//
+// Usage:
+//
+//	go run ./cmd/benchreport -out BENCH_PR4.json
+//	go run ./cmd/benchreport -compare BENCH_PR4.json -tolerance 0.2
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// defaultBench selects the committed-trajectory suite: kernel
+// micro-benchmarks, both engines, and the sweep pipeline — fast enough
+// to run in CI, covering every layer the perf work touches.
+const defaultBench = "BenchmarkEventQueue$|BenchmarkEventQueueArg$|BenchmarkEventCancel$" +
+	"|BenchmarkGeometricDraw|BenchmarkFrameCodec|BenchmarkRNGSeed" +
+	"|BenchmarkEventSimThroughput$|BenchmarkAblationEngines|BenchmarkSlotSimBianchi" +
+	"|BenchmarkSimulatorReuse|BenchmarkScenarioReplications$" +
+	"|BenchmarkSweepSmoke$|BenchmarkSweep120$"
+
+// Measurement is one benchmark's parsed result.
+type Measurement struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the on-disk document.
+type Report struct {
+	GoVersion  string                 `json:"go_version"`
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	NumCPU     int                    `json:"num_cpu"`
+	BenchTime  string                 `json:"benchtime"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the JSON report to this file")
+		compare   = flag.String("compare", "", "compare a fresh run against this committed baseline (warn-only)")
+		benchRe   = flag.String("bench", defaultBench, "benchmark selection regexp passed to go test")
+		benchTime = flag.String("benchtime", "20x", "benchtime passed to go test")
+		pkgs      = flag.String("pkgs", "./...", "package pattern to benchmark")
+		tolerance = flag.Float64("tolerance", 0.20, "relative ns/op slowdown that triggers a warning in -compare mode")
+		strict    = flag.Bool("strict", false, "exit non-zero when -compare finds regressions")
+	)
+	flag.Parse()
+	if *out == "" && *compare == "" {
+		fmt.Fprintln(os.Stderr, "benchreport: need -out and/or -compare")
+		os.Exit(2)
+	}
+
+	rep, err := run(*benchRe, *benchTime, *pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	}
+	if *compare != "" {
+		base, err := load(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		if regressions := diff(base, rep, *tolerance); regressions > 0 && *strict {
+			os.Exit(1)
+		}
+	}
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// run executes the benchmarks and parses the textual output.
+func run(benchRe, benchTime, pkgs string) (*Report, error) {
+	args := []string{"test", "-run", "^$", "-bench", benchRe,
+		"-benchmem", "-benchtime", benchTime, "-count", "1", pkgs}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		BenchTime:  benchTime,
+		Benchmarks: map[string]Measurement{},
+	}
+	sc := bufio.NewScanner(outPipe)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, m, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		if _, dup := rep.Benchmarks[name]; dup {
+			return nil, fmt.Errorf("duplicate benchmark name %q across packages", name)
+		}
+		rep.Benchmarks[name] = m
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmarks matched %q", benchRe)
+	}
+	return rep, nil
+}
+
+// parseLine decodes one "BenchmarkName-8  N  v unit  v unit ..." line.
+func parseLine(line string) (string, Measurement, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Measurement{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Measurement{}, false
+	}
+	m := Measurement{Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			m.NsPerOp = v
+		case "B/op":
+			m.BytesPerOp = v
+		case "allocs/op":
+			m.AllocsPerOp = v
+		default:
+			if m.Metrics == nil {
+				m.Metrics = map[string]float64{}
+			}
+			m.Metrics[unit] = v
+		}
+	}
+	if m.NsPerOp == 0 {
+		return "", Measurement{}, false
+	}
+	return name, m, true
+}
+
+// diff prints a benchstat-style comparison and returns the number of
+// regressions beyond the tolerance. GitHub Actions renders the
+// ::warning:: lines as annotations.
+func diff(base, fresh *Report, tolerance float64) int {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		f, ok := fresh.Benchmarks[name]
+		if !ok {
+			fmt.Printf("::warning::benchmark %s missing from fresh run\n", name)
+			regressions++
+			continue
+		}
+		delta := (f.NsPerOp - b.NsPerOp) / b.NsPerOp
+		fmt.Printf("%-50s %14.0f %14.0f %+7.1f%%\n", name, b.NsPerOp, f.NsPerOp, 100*delta)
+		if delta > tolerance {
+			fmt.Printf("::warning::%s regressed %.1f%% (%.0f → %.0f ns/op, tolerance %.0f%%)\n",
+				name, 100*delta, b.NsPerOp, f.NsPerOp, 100*tolerance)
+			regressions++
+		}
+	}
+	for name := range fresh.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("%-50s %14s %14.0f %8s\n", name, "(new)", fresh.Benchmarks[name].NsPerOp, "")
+		}
+	}
+	if regressions == 0 {
+		fmt.Println("no regressions beyond tolerance")
+	}
+	return regressions
+}

@@ -277,6 +277,7 @@ func runScenario(path string, quick bool, parallelism int, summaryPath string) {
 	fmt.Printf("suite %s: %d scenario(s), %s\n", name, len(suite.Scenarios), scale)
 	start := time.Now()
 	r := scenario.Runner{Parallelism: parallelism}
+	defer r.Close()
 	sums, err := r.RunSuite(suite)
 	if err != nil {
 		fatalf("%v", err)

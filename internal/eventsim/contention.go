@@ -1,0 +1,107 @@
+package eventsim
+
+import (
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// bitset is a fixed-capacity bitmap over station ids. One word covers
+// the common N ≤ 64 case; larger topologies use more words. The zero
+// value is unusable — size with grow first.
+type bitset struct {
+	words []uint64
+}
+
+// grow (re)sizes the bitset for n ids and clears it.
+func (b *bitset) grow(n int) {
+	w := (n + 63) >> 6
+	if cap(b.words) < w {
+		b.words = make([]uint64, w)
+		return
+	}
+	b.words = b.words[:w]
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+func (b *bitset) set(i int)   { b.words[i>>6] |= 1 << (uint(i) & 63) }
+func (b *bitset) clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Lazy contention wake-ups.
+//
+// A contending station on an idle medium is "armed": it has a due
+// instant (runStart + remaining·σ) and a reserved scheduler sequence
+// number, but no scheduler event. Exactly one live event exists for the
+// whole contention system — the armed station with the smallest
+// (due, vseq), tracked in armedSt/armedRef. Busy/idle transitions
+// therefore cost counter updates plus at most one event cancel, instead
+// of the per-neighbour arm/cancel storm of eager scheduling: scheduler
+// traffic drops from O(neighbours) to O(1) amortised per transition.
+//
+// Bit-identity with eager scheduling is structural, not statistical:
+//   - arming reserves a sequence number via TakeSeq at exactly the call
+//     sites where the eager code scheduled, so every event in the run —
+//     contention or not — carries the same (time, seq) key as before;
+//   - the live event is submitted with the owner's reserved sequence
+//     number (AtArgSeq), so same-instant ties (a due attempt racing a
+//     frame completion, a beacon, an ACK) resolve exactly as they did
+//     when every station held its own event;
+//   - the candidate minimum is re-established (rearm) before any event
+//     callback returns, so the earliest armed attempt always has a live
+//     event and fires at its exact due instant.
+// EventsFired is preserved too: the events that fire are precisely the
+// attempts that would have fired eagerly — cancelled events never
+// counted, and lazy arming never fires spuriously.
+
+// disarm retracts st's virtual attempt (frozen or deactivated). When st
+// owns the live event the candidate minimum is stale: cancel it and
+// mark the system dirty so the enclosing transition batch re-arms.
+func (s *Simulator) disarm(st *station) {
+	st.armed = false
+	s.ready.clear(st.id)
+	if s.armedSt == st {
+		s.armedRef.Cancel()
+		s.armedRef = sim.Ref{}
+		s.armedSt = nil
+		s.contDirty = true
+	}
+}
+
+// rearm re-establishes the live event on the armed station with the
+// minimum (due, vseq). It runs as the scheduler's after-dispatch hook —
+// once per event, after the callback's whole batch of transitions — and
+// once at init for the pre-Run arming; it is O(armed stations) when
+// dirty and O(1) otherwise.
+func (s *Simulator) rearm() {
+	if !s.contDirty {
+		return
+	}
+	s.contDirty = false
+	// Scan the flat (due, vseq) mirrors rather than the station structs:
+	// the candidate minimum is re-established once per transition batch,
+	// and a linear walk over two arrays stays in cache where pointer
+	// chasing would not.
+	best := -1
+	for w, word := range s.ready.words {
+		base := w << 6
+		for word != 0 {
+			i := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			if best < 0 || s.dues[i] < s.dues[best] ||
+				(s.dues[i] == s.dues[best] && s.vseqs[i] < s.vseqs[best]) {
+				best = i
+			}
+		}
+	}
+	if best < 0 || s.stations[best] == s.armedSt {
+		return
+	}
+	if s.armedSt != nil {
+		s.armedRef.Cancel()
+	}
+	st := s.stations[best]
+	s.armedSt = st
+	s.armedRef = s.sched.AtArgSeq(st.due, st.vseq, s.txBeginFn, st)
+}

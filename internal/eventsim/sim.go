@@ -80,6 +80,31 @@ type Simulator struct {
 	// lifecycle allocates nothing.
 	txPool []*transmission
 
+	// Lazy contention wake-up state (see contention.go): ready is the
+	// bitmap of armed stations, armedSt/armedRef the single live
+	// scheduler event on the candidate-minimum attempt, and contDirty
+	// marks that the minimum must be re-established before the current
+	// event callback returns. dues/vseqs mirror the armed stations'
+	// (due, vseq) keys in flat arrays so the minimum scan walks memory
+	// linearly instead of chasing station pointers.
+	ready     bitset
+	armedSt   *station
+	armedRef  sim.Ref
+	contDirty bool
+	dues      []sim.Time
+	vseqs     []uint64
+
+	// PHY-derived durations, computed once at init: the per-frame paths
+	// consume these constantly and the float maths behind TxTime is not
+	// free.
+	tData       sim.Duration
+	tRTS        sim.Duration
+	tCTS        sim.Duration
+	tACK        sim.Duration
+	tACKTimeout sim.Duration
+	tPIFS       sim.Duration
+	tNAV        sim.Duration
+
 	throughputSeries stats.TimeSeries
 	controlSeries    stats.TimeSeries
 	activeSeries     stats.TimeSeries
@@ -110,14 +135,10 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{
-		cfg:         cfg,
 		sched:       sim.NewScheduler(),
 		apIdle:      stats.NewIdleSlotTracker(cfg.PHY.Slot, cfg.PHY.DIFS),
 		windowMeter: stats.NewThroughputMeter(0),
 	}
-	s.throughputSeries.Name = "throughput"
-	s.controlSeries.Name = "control"
-	s.activeSeries.Name = "active"
 	s.txBeginFn = func(a any) { s.txBegin(a.(*station)) }
 	s.txCompleteFn = func(a any) { s.txComplete(a.(*transmission)) }
 	s.failTimeoutFn = func(a any) { s.failTimeout(a.(*station)) }
@@ -132,24 +153,135 @@ func New(cfg Config) (*Simulator, error) {
 	s.beaconEndFn = func(any) { s.beaconEnd() }
 	s.arrivalFn = func(a any) { s.arrival(a.(*station)) }
 	s.phaseFn = func(a any) { s.phaseFlip(a.(*station)) }
+	// rearm runs after every dispatched event, re-establishing the
+	// lazy-wakeup candidate minimum exactly once per event however many
+	// transitions the callback performed — one enforcement point
+	// instead of a rearm call at every callback return site.
+	s.sched.SetAfterDispatch(func() { s.rearm() })
+	s.init(cfg)
+	return s, nil
+}
+
+// Reset reinitialises the simulator in place for a fresh run of cfg,
+// reusing every warmed arena — the scheduler's event pool, station
+// objects and their RNG state arrays, the transmission pool, series and
+// queue storage — so a pooled simulator can replay replication after
+// replication without the per-run allocation storm of building a new
+// one. The reset simulator is bit-identical to a fresh New(cfg):
+// TestResetMatchesNew pins Result equality byte for byte.
+func (s *Simulator) Reset(cfg Config) error {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return err
+	}
+	s.sched.Reset()
+	s.apIdle.Rebind(cfg.PHY.Slot, cfg.PHY.DIFS)
+	s.windowMeter.Reset(0)
+	s.init(cfg)
+	return nil
+}
+
+// init builds run state for a validated cfg on top of s's arenas. The
+// wholesale struct assignment returns every non-arena field to its zero
+// value — a new field is fresh-per-run by default — while arenas and the
+// pre-bound callbacks are carried explicitly.
+func (s *Simulator) init(cfg Config) {
+	tSeries, cSeries, aSeries := s.throughputSeries, s.controlSeries, s.activeSeries
+	tSeries.Reset("throughput")
+	cSeries.Reset("control")
+	aSeries.Reset("active")
+	root := s.rootRNG
+	if root == nil {
+		root = sim.NewRNG(cfg.Seed)
+	} else {
+		root.Reseed(cfg.Seed)
+	}
+	stations, sensedBy := s.stations, s.sensedBy
+	*s = Simulator{
+		cfg:              cfg,
+		sched:            s.sched,
+		apIdle:           s.apIdle,
+		windowMeter:      s.windowMeter,
+		rootRNG:          root,
+		active:           s.active[:0],
+		txPool:           s.txPool,
+		ready:            s.ready,
+		dues:             s.dues,
+		vseqs:            s.vseqs,
+		throughputSeries: tSeries,
+		controlSeries:    cSeries,
+		activeSeries:     aSeries,
+		txBeginFn:        s.txBeginFn,
+		txCompleteFn:     s.txCompleteFn,
+		failTimeoutFn:    s.failTimeoutFn,
+		ctsBeginFn:       s.ctsBeginFn,
+		ctsEndFn:         s.ctsEndFn,
+		reservedDataFn:   s.reservedDataFn,
+		ackBeginFn:       s.ackBeginFn,
+		ackEndFn:         s.ackEndFn,
+		windowFn:         s.windowFn,
+		beaconTickFn:     s.beaconTickFn,
+		beaconTxFn:       s.beaconTxFn,
+		beaconEndFn:      s.beaconEndFn,
+		arrivalFn:        s.arrivalFn,
+		phaseFn:          s.phaseFn,
+	}
 	if cfg.Controller != nil {
 		s.control = cfg.Controller.Control()
 	}
-	root := sim.NewRNG(cfg.Seed)
-	s.rootRNG = root
+	s.tData = cfg.PHY.DataTxTime()
+	s.tRTS = cfg.PHY.RTSTxTime()
+	s.tCTS = cfg.PHY.CTSTxTime()
+	s.tACK = cfg.PHY.ACKTxTime()
+	s.tACKTimeout = cfg.PHY.ACKTimeout()
+	s.tPIFS = cfg.PHY.PIFS()
+	s.tNAV = cfg.PHY.SIFS + s.tData + cfg.PHY.SIFS + s.tACK
 	n := cfg.Topology.N()
-	s.stations = make([]*station, n)
-	s.sensedBy = make([][]int, n)
+	if cap(stations) < n {
+		grown := make([]*station, n)
+		copy(grown, stations[:cap(stations)])
+		stations = grown
+	} else {
+		stations = stations[:n]
+	}
+	if cap(sensedBy) < n {
+		sensedBy = make([][]int, n)
+	} else {
+		sensedBy = sensedBy[:n]
+	}
 	for i := 0; i < n; i++ {
-		st := &station{
+		st := stations[i]
+		if st == nil {
+			st = &station{}
+			stations[i] = st
+		}
+		rng, arrRNG, qbuf := st.rng, st.arrivalRNG, st.queue.buf[:0]
+		*st = station{
 			id:            i,
 			policy:        cfg.Policies[i],
-			rng:           root.Split(int64(i)),
+			arrivalRNG:    arrRNG,
 			state:         stateInactive,
 			senseIdleOpen: true,
 		}
-		s.stations[i] = st
-		s.sensedBy[i] = cfg.Topology.SensedBy(i)
+		st.observer, _ = st.policy.(mac.MediumObserver)
+		if m, ok := st.policy.(mac.Memoryless); ok {
+			st.memoryless = m.BackoffMemoryless()
+		}
+		st.queue.buf = qbuf
+		if rng == nil {
+			rng = root.Split(int64(i))
+		} else {
+			root.SplitInto(int64(i), rng)
+		}
+		st.rng = rng
+		sensedBy[i] = cfg.Topology.SensedBy(i)
+	}
+	s.stations, s.sensedBy = stations, sensedBy
+	if cap(s.dues) < n {
+		s.dues = make([]sim.Time, n)
+		s.vseqs = make([]uint64, n)
+	} else {
+		s.dues, s.vseqs = s.dues[:n], s.vseqs[:n]
 	}
 	if cfg.Arrivals != nil {
 		for i, st := range s.stations {
@@ -164,15 +296,20 @@ func New(cfg Config) (*Simulator, error) {
 		// nil-Arrivals run.
 		if s.unsaturated {
 			for i, st := range s.stations {
-				st.arrivalRNG = root.Split(int64(n + i))
+				if st.arrivalRNG == nil {
+					st.arrivalRNG = root.Split(int64(n + i))
+				} else {
+					root.SplitInto(int64(n+i), st.arrivalRNG)
+				}
 			}
 		}
 	}
+	s.ready.grow(n)
 	s.apIdle.MediumIdle(0)
 	for i := 0; i < cfg.InitialActive; i++ {
 		s.activateNow(s.stations[i])
 	}
-	return s, nil
+	s.rearm()
 }
 
 // Scheduler exposes the event clock, mainly for tests and custom
@@ -269,8 +406,7 @@ func (s *Simulator) deactivateNow(st *station) {
 	case stateIdle:
 		st.state = stateInactive
 	case stateContending:
-		st.txStart.Cancel()
-		st.txStart = sim.Ref{}
+		s.disarm(st)
 		st.state = stateInactive
 	default:
 		// Mid-transmission or awaiting ACK: finish the exchange first.
@@ -348,9 +484,11 @@ func (s *Simulator) startContention(st *station) {
 	s.armCountdown(st)
 }
 
-// armCountdown schedules the transmission-start event if the medium is
+// armCountdown arms the transmission attempt virtually if the medium is
 // currently idle for st; otherwise the countdown stays frozen until
-// onBusyEnd re-arms it.
+// onBusyEnd re-arms it. Arming reserves the scheduler sequence number
+// the eager code would have consumed, but pushes no event: the live
+// event lands on the candidate-minimum attempt at the next rearm.
 func (s *Simulator) armCountdown(st *station) {
 	if st.busyCount > 0 || st.state != stateContending {
 		return
@@ -363,7 +501,16 @@ func (s *Simulator) armCountdown(st *station) {
 	}
 	at := base.Add(sim.Duration(st.remaining) * s.cfg.PHY.Slot)
 	st.runStart = base
-	st.txStart = s.sched.AtArg(at, s.txBeginFn, st)
+	st.due = at
+	st.vseq = s.sched.TakeSeq()
+	st.armed = true
+	s.dues[st.id], s.vseqs[st.id] = st.due, st.vseq
+	s.ready.set(st.id)
+	// The minimum only needs re-establishing when this attempt beats the
+	// currently live one (a later vseq never ties ahead at equal due).
+	if s.armedSt == nil || at < s.armedSt.due {
+		s.contDirty = true
+	}
 }
 
 // onBusyStart informs st that a transmission it senses has started.
@@ -380,17 +527,17 @@ func (s *Simulator) onBusyStart(st *station) {
 		}
 		st.senseIdleOpen = false
 	}
-	if st.state != stateContending || !st.txStart.Active() {
+	if st.state != stateContending || !st.armed {
 		return
 	}
-	if st.txStart.At() == now {
+	if st.due == now {
 		// The station's own attempt is due at this very instant: it is
 		// committed (carrier sense cannot act within the same slot
 		// boundary), so the events collide — exactly the synchronised
 		// slot-boundary collision of CSMA.
 		return
 	}
-	// Freeze: bank the fully elapsed slots and cancel the attempt.
+	// Freeze: bank the fully elapsed slots and retract the attempt.
 	elapsed := 0
 	if now.After(st.runStart) {
 		elapsed = int(now.Sub(st.runStart) / s.cfg.PHY.Slot)
@@ -399,8 +546,7 @@ func (s *Simulator) onBusyStart(st *station) {
 		elapsed = st.remaining
 	}
 	st.remaining -= elapsed
-	st.txStart.Cancel()
-	st.txStart = sim.Ref{}
+	s.disarm(st)
 }
 
 // observeIdleGap feeds a medium-observing policy (IdleSense) the idle gap
@@ -408,15 +554,14 @@ func (s *Simulator) onBusyStart(st *station) {
 // belong to the ongoing frame exchange, and only time beyond the
 // mandatory DIFS counts as idle slots.
 func (s *Simulator) observeIdleGap(st *station, now sim.Time) {
-	obs, ok := st.policy.(mac.MediumObserver)
-	if !ok {
+	if st.observer == nil {
 		return
 	}
 	gap := now.Sub(st.senseIdleStart)
 	if gap < s.cfg.PHY.DIFS {
 		return
 	}
-	obs.ObserveTransmission(float64(gap-s.cfg.PHY.DIFS) / float64(s.cfg.PHY.Slot))
+	st.observer.ObserveTransmission(float64(gap-s.cfg.PHY.DIFS) / float64(s.cfg.PHY.Slot))
 }
 
 // onBusyEnd informs st that a transmission it senses has ended.
@@ -432,13 +577,13 @@ func (s *Simulator) onBusyEnd(st *station) {
 	st.idleSince = now
 	st.senseIdleOpen = true
 	st.senseIdleStart = now
-	if st.state == stateContending && !st.txStart.Active() {
+	if st.state == stateContending && !st.armed {
 		// p-persistent backoff has no memory across busy periods: the
 		// first slot after the resumption is an ordinary Bernoulli(p)
 		// slot, so redraw instead of resuming the frozen residual
 		// (which is conditioned ≥ 1 and would bias the idle-slot
 		// distribution away from Eq. (2)'s i.i.d. slots).
-		if m, ok := st.policy.(mac.Memoryless); ok && m.BackoffMemoryless() {
+		if st.memoryless {
 			st.remaining = st.policy.NextBackoff(st.rng)
 		}
 		s.armCountdown(st)
@@ -466,9 +611,14 @@ func (s *Simulator) freeTransmission(rec *transmission) {
 	s.txPool = append(s.txPool, rec)
 }
 
-// txBegin puts st's data frame on the air.
+// txBegin puts st's data frame on the air. It fires as the candidate-
+// minimum contention event, so the live-event slot is free again.
 func (s *Simulator) txBegin(st *station) {
-	st.txStart = sim.Ref{}
+	st.armed = false
+	s.ready.clear(st.id)
+	s.armedSt = nil
+	s.armedRef = sim.Ref{}
+	s.contDirty = true
 	if st.state != stateContending {
 		return
 	}
@@ -482,10 +632,10 @@ func (s *Simulator) txBegin(st *station) {
 	}
 
 	kind := kindData
-	airtime := s.cfg.PHY.DataTxTime()
+	airtime := s.tData
 	if s.cfg.RTSCTS {
 		kind = kindRTS
-		airtime = s.cfg.PHY.RTSTxTime()
+		airtime = s.tRTS
 	}
 	rec := s.newTransmission()
 	rec.st, rec.kind, rec.start, rec.end = st, kind, now, now.Add(airtime)
@@ -554,7 +704,7 @@ func (s *Simulator) txComplete(rec *transmission) {
 		}
 		if collided {
 			s.collisions++
-			s.sched.AfterArg(s.cfg.PHY.ACKTimeout(), s.failTimeoutFn, st)
+			s.sched.AfterArg(s.tACKTimeout, s.failTimeoutFn, st)
 			return
 		}
 		s.sched.AfterArg(s.cfg.PHY.SIFS, s.ctsBeginFn, st)
@@ -572,7 +722,7 @@ func (s *Simulator) txComplete(rec *transmission) {
 	}
 	if collided {
 		s.collisions++
-		s.sched.AfterArg(s.cfg.PHY.ACKTimeout(), s.failTimeoutFn, st)
+		s.sched.AfterArg(s.tACKTimeout, s.failTimeoutFn, st)
 		return
 	}
 	// Footnote 1: i.i.d. channel errors on data frames. The frame is
@@ -580,7 +730,7 @@ func (s *Simulator) txComplete(rec *transmission) {
 	// loss from a collision and takes the same failure path.
 	if s.cfg.FrameErrorRate > 0 && s.rootRNG.Bernoulli(s.cfg.FrameErrorRate) {
 		s.frameErrors++
-		s.sched.AfterArg(s.cfg.PHY.ACKTimeout(), s.failTimeoutFn, st)
+		s.sched.AfterArg(s.tACKTimeout, s.failTimeoutFn, st)
 		return
 	}
 	s.ackPending = true
@@ -589,9 +739,7 @@ func (s *Simulator) txComplete(rec *transmission) {
 
 // navDuration is the medium reservation a CTS announces: the remainder of
 // the exchange after the CTS ends (SIFS + data + SIFS + ACK).
-func (s *Simulator) navDuration() sim.Duration {
-	return s.cfg.PHY.SIFS + s.cfg.PHY.DataTxTime() + s.cfg.PHY.SIFS + s.cfg.PHY.ACKTxTime()
-}
+func (s *Simulator) navDuration() sim.Duration { return s.tNAV }
 
 // ctsBegin starts the AP's clear-to-send answer to an uncollided RTS.
 func (s *Simulator) ctsBegin(target *station) {
@@ -607,7 +755,7 @@ func (s *Simulator) ctsBegin(target *station) {
 	for _, st := range s.stations {
 		s.onBusyStart(st)
 	}
-	s.sched.AfterArg(s.cfg.PHY.CTSTxTime(), s.ctsEndFn, target)
+	s.sched.AfterArg(s.tCTS, s.ctsEndFn, target)
 }
 
 // ctsEnd completes the CTS: every station that could decode it arms its
@@ -658,7 +806,7 @@ func (s *Simulator) reservedData(st *station) {
 	st.state = stateTransmitting
 	rec := s.newTransmission()
 	rec.st, rec.kind = st, kindData
-	rec.start, rec.end = now, now.Add(s.cfg.PHY.DataTxTime())
+	rec.start, rec.end = now, now.Add(s.tData)
 	s.launch(rec)
 }
 
@@ -678,7 +826,7 @@ func (s *Simulator) ackBegin(target *station) {
 	for _, st := range s.stations {
 		s.onBusyStart(st)
 	}
-	s.sched.AfterArg(s.cfg.PHY.ACKTxTime(), s.ackEndFn, target)
+	s.sched.AfterArg(s.tACK, s.ackEndFn, target)
 }
 
 // ackEnd completes a successful exchange: deliver the ACK (with the
@@ -828,7 +976,7 @@ func (s *Simulator) tryBeacon() {
 	if !s.beaconDue || s.beaconWait.Active() || s.apTx || s.ackPending || s.apBusy > 0 {
 		return
 	}
-	s.beaconWait = s.sched.AfterArg(s.cfg.PHY.PIFS(), s.beaconTxFn, nil)
+	s.beaconWait = s.sched.AfterArg(s.tPIFS, s.beaconTxFn, nil)
 }
 
 // beaconTx puts the beacon on the air.
@@ -846,7 +994,7 @@ func (s *Simulator) beaconTx() {
 		s.onBusyStart(st)
 	}
 	s.beaconSeq++
-	s.sched.AfterArg(s.cfg.PHY.ACKTxTime(), s.beaconEndFn, nil)
+	s.sched.AfterArg(s.tACK, s.beaconEndFn, nil)
 }
 
 // beaconEnd completes the beacon. Beacons never overlap (tryBeacon bails
@@ -883,16 +1031,18 @@ func (s *Simulator) Run(duration sim.Duration) *Result {
 func (s *Simulator) result() *Result {
 	now := s.sched.Now()
 	res := &Result{
-		Duration:         now.Sub(0),
-		Throughput:       float64(s.totalBits) / now.Seconds(),
-		Successes:        s.successes,
-		Collisions:       s.collisions,
-		FrameErrors:      s.frameErrors,
-		APIdleSlots:      s.apIdle.Average(),
-		MaxConcurrent:    s.maxConcurrent,
-		ThroughputSeries: s.throughputSeries,
-		ControlSeries:    s.controlSeries,
-		ActiveSeries:     s.activeSeries,
+		Duration:      now.Sub(0),
+		Throughput:    float64(s.totalBits) / now.Seconds(),
+		Successes:     s.successes,
+		Collisions:    s.collisions,
+		FrameErrors:   s.frameErrors,
+		APIdleSlots:   s.apIdle.Average(),
+		MaxConcurrent: s.maxConcurrent,
+		// The series are cloned so the Result stays valid after this
+		// simulator is Reset for its next run (arena reuse).
+		ThroughputSeries: s.throughputSeries.Clone(),
+		ControlSeries:    s.controlSeries.Clone(),
+		ActiveSeries:     s.activeSeries.Clone(),
 		EventsFired:      s.sched.Fired(),
 		Latency:          s.latHist,
 		JitterSum:        s.jitterSum,

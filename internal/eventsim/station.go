@@ -55,8 +55,14 @@ func (q *arrivalQueue) pop() sim.Time {
 type station struct {
 	id     int
 	policy mac.Policy
-	rng    *sim.RNG
-	state  stationState
+	// observer and memoryless cache the policy's optional-interface
+	// shape once at init: the busy/idle transition path runs for every
+	// station on every frame, and repeating the type assertions there
+	// costs more than the transitions themselves.
+	observer   mac.MediumObserver
+	memoryless bool
+	rng        *sim.RNG
+	state      stationState
 
 	// busyCount is the number of in-air transmissions this station
 	// senses (neighbouring stations' data frames plus AP frames). The
@@ -70,11 +76,19 @@ type station struct {
 	remaining int
 	// runStart anchors the current countdown: the station transmits at
 	// runStart + remaining·σ unless the medium goes busy first. Valid
-	// while txStart is active.
+	// while armed.
 	runStart sim.Time
-	// txStart is the pending transmission-start event. The zero Ref
-	// means no attempt is armed.
-	txStart sim.Ref
+	// armed marks a virtually scheduled transmission attempt: the
+	// station is due to transmit at due, but holds no scheduler event of
+	// its own. Only the globally earliest armed contender has a live
+	// event (Simulator.armedSt); everyone else is woken lazily when the
+	// candidate minimum moves (see Simulator.rearm). vseq is the
+	// scheduler sequence number reserved at arm time, which preserves
+	// the exact same-instant FIFO order eager per-station scheduling
+	// would have produced.
+	armed bool
+	due   sim.Time
+	vseq  uint64
 
 	// senseIdleOpen/senseIdleStart track the idle gap this station
 	// observes between sensed transmissions (IdleSense's input).

@@ -13,6 +13,7 @@ package mac
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/frame"
 	"repro/internal/sim"
@@ -128,6 +129,11 @@ type PPersistent struct {
 
 	p float64 // station attempt probability p_t
 
+	// logQ caches math.Log1p(-p) for the inverse-transform draw;
+	// logQFor records the p it was computed for.
+	logQ    float64
+	logQFor float64
+
 	// batch prefetches uniform draws for the geometric backoff. Safe
 	// because a station's policy is the only consumer of its RNG stream
 	// (p-persistent draws nothing on success/failure), so batching
@@ -154,10 +160,17 @@ func (p *PPersistent) AttemptProbability() float64 { return p.p }
 
 // NextBackoff implements Policy: geometric with parameter p, drawn
 // through a prefetch batch (p is clamped to (0,1) so every draw consumes
-// exactly one uniform, batched or not).
+// exactly one uniform, batched or not). The constant ln(1-p) term of the
+// inverse transform is cached until p changes; the cached value is the
+// exact math.Log1p(-p) double, so draws are bit-identical to the
+// uncached form.
 func (p *PPersistent) NextBackoff(rng *sim.RNG) int {
 	p.batch.Bind(rng)
-	return sim.GeometricFromUniform(p.batch.Next(), p.p)
+	if p.p != p.logQFor {
+		p.logQFor = p.p
+		p.logQ = math.Log1p(-p.p)
+	}
+	return sim.GeometricFromUniformLogQ(p.batch.Next(), p.logQ)
 }
 
 // OnSuccess implements Policy; p-persistent state is outcome-independent.

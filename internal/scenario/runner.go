@@ -14,28 +14,69 @@ import (
 	"repro/internal/trace"
 )
 
-// Runner executes scenario replications across a worker pool.
+// Runner executes scenario replications across a persistent worker
+// pool. Workers start lazily on the first run and live until Close;
+// each worker owns one reusable simulator arena that is Reset — not
+// rebuilt — per replication, so steady-state sweep execution performs
+// no per-replication construction allocations and no goroutine churn.
 //
 // Determinism contract: replication r of a spec always runs with seed
 // Seed+r and its own RNG substreams — no state is shared between
-// replications — and aggregation folds replication results in index
-// order. The aggregate Summary is therefore bit-identical for any
-// Parallelism setting, a property the golden tests pin.
+// replications (Simulator.Reset is bit-identical to a fresh build) —
+// and aggregation folds replication results in index order. The
+// aggregate Summary is therefore bit-identical for any Parallelism
+// setting and any worker/arena assignment, a property the golden tests
+// pin.
 type Runner struct {
 	// Parallelism bounds concurrently running replications
-	// (0 = GOMAXPROCS).
+	// (0 = GOMAXPROCS). Fixed once the first run starts the pool.
 	Parallelism int
 
 	// runRep overrides replication execution in tests (nil = the real
 	// simulation).
 	runRep func(sp *Spec, rep int) (*replication, error)
+
+	poolOnce  sync.Once
+	closeOnce sync.Once
+	pool      *workerPool
 }
 
-func (r *Runner) replicate(sp *Spec, rep int) (*replication, error) {
+// workerPool is the persistent executor: long-lived workers pulling
+// closures from one channel, each holding a private simulator arena.
+type workerPool struct {
+	jobs chan func(*arena)
+	wg   sync.WaitGroup
+}
+
+// arena is one worker's reusable simulation state.
+type arena struct {
+	ev *eventsim.Simulator
+}
+
+// simulator returns a simulator for cfg: the arena's instance reset in
+// place, or a fresh build the first time (and for arena-less callers).
+func (ar *arena) simulator(cfg eventsim.Config) (*eventsim.Simulator, error) {
+	if ar == nil || ar.ev == nil {
+		s, err := eventsim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if ar != nil {
+			ar.ev = s
+		}
+		return s, nil
+	}
+	if err := ar.ev.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return ar.ev, nil
+}
+
+func (r *Runner) replicate(sp *Spec, rep int, ar *arena) (*replication, error) {
 	if r.runRep != nil {
 		return r.runRep(sp, rep)
 	}
-	return runReplication(sp, rep)
+	return runReplication(sp, rep, ar)
 }
 
 func (r *Runner) parallelism() int {
@@ -43,6 +84,38 @@ func (r *Runner) parallelism() int {
 		return r.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// ensurePool starts the worker pool on first use.
+func (r *Runner) ensurePool() *workerPool {
+	r.poolOnce.Do(func() {
+		p := &workerPool{jobs: make(chan func(*arena))}
+		workers := r.parallelism()
+		p.wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer p.wg.Done()
+				ar := &arena{}
+				for fn := range p.jobs {
+					fn(ar)
+				}
+			}()
+		}
+		r.pool = p
+	})
+	return r.pool
+}
+
+// Close stops the worker pool and releases its arenas. Idempotent, and
+// a no-op on a Runner that never ran. The Runner must not be used
+// again after Close.
+func (r *Runner) Close() {
+	r.closeOnce.Do(func() {
+		if r.pool != nil {
+			close(r.pool.jobs)
+			r.pool.wg.Wait()
+		}
+	})
 }
 
 // Run executes one spec and returns its aggregate summary.
@@ -65,91 +138,130 @@ func (r *Runner) RunSuite(su *Suite) ([]*Summary, error) {
 }
 
 // RunBatch validates the given specs and executes all their
-// replications in one worker pool — the repository's single simulation
-// fan-out path (the experiment harness routes its sweeps through here
-// too). It returns one Summary per spec, in spec order.
+// replications through the shared worker pool — the repository's single
+// simulation fan-out path (the experiment harness routes its sweeps
+// through here too). It returns one Summary per spec, in spec order.
 func (r *Runner) RunBatch(specs []*Spec) ([]*Summary, error) {
+	sums := make([]*Summary, len(specs))
+	err := r.RunBatchFunc(specs, func(i int, sum *Summary) error {
+		sums[i] = sum
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sums, nil
+}
+
+// RunBatchFunc executes all replications of all specs through the
+// worker pool and invokes done(i, summary) as each spec's last
+// replication lands — in completion order, not spec order, which is
+// what lets a sweep pipeline thousands of small points through one pool
+// without barrier stalls. done calls are serialised (never concurrent)
+// but may run on worker goroutines; a non-nil error from done aborts
+// the batch, draining every remaining replication unsimulated. Specs
+// that complete before any failure are still reported. On simulation
+// failure the error of the lowest (spec, replication) index is
+// returned, whatever the scheduling; a done error takes effect
+// immediately and is returned only when no simulation error is
+// recorded.
+func (r *Runner) RunBatchFunc(specs []*Spec, done func(i int, sum *Summary) error) error {
 	type job struct{ si, rep int }
 	var jobs []job
 	results := make([][]*replication, len(specs))
+	remaining := make([]int, len(specs))
 	for i, sp := range specs {
 		if err := sp.withDefaults(); err != nil {
 			name := sp.Name
 			if name == "" {
 				name = fmt.Sprintf("spec %d", i)
 			}
-			return nil, fmt.Errorf("scenario %s: %w", name, err)
+			return fmt.Errorf("scenario %s: %w", name, err)
 		}
 		results[i] = make([]*replication, sp.Seeds)
+		remaining[i] = sp.Seeds
 		for rep := 0; rep < sp.Seeds; rep++ {
 			jobs = append(jobs, job{i, rep})
 		}
 	}
 
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
+		pending  sync.WaitGroup
+		mu       sync.Mutex // guards results/remaining/firstErr/firstJob/doneErr
+		emitMu   sync.Mutex // serialises done callbacks, off the result lock
 		failed   atomic.Bool
 		firstErr error
+		doneErr  error
 		firstJob = len(jobs) // index of the erroring job, for determinism
 	)
-	ch := make(chan int)
-	workers := r.parallelism()
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ji := range ch {
-				// Fail fast: once any replication has errored, drain the
-				// remaining jobs without simulating them — but only jobs
-				// above the currently recorded erroring index. A job
-				// below it must still run (it may itself error with a
-				// lower index), which keeps the reported error exactly
-				// min-over-erroring-jobs for every scheduling: the
-				// globally lowest erroring index can never be skipped,
-				// because skipping requires an even lower recorded one.
-				if failed.Load() {
-					mu.Lock()
-					skip := firstErr != nil && ji > firstJob
-					mu.Unlock()
-					if skip {
-						continue
-					}
-				}
-				j := jobs[ji]
-				rep, err := r.replicate(specs[j.si], j.rep)
-				mu.Lock()
-				if err != nil {
-					failed.Store(true)
-					// Keep the error of the lowest job index so the
-					// reported failure does not depend on scheduling.
-					if ji < firstJob {
-						firstJob, firstErr = ji, fmt.Errorf("scenario %q replication %d: %w", specs[j.si].Name, j.rep, err)
-					}
-				} else {
-					results[j.si][j.rep] = rep
-				}
-				mu.Unlock()
+	process := func(ar *arena, ji int) {
+		defer pending.Done()
+		// Fail fast: once any replication has errored, drain the
+		// remaining jobs without simulating them — but only jobs above
+		// the currently recorded erroring index. A job below it must
+		// still run (it may itself error with a lower index), which
+		// keeps the reported error exactly min-over-erroring-jobs for
+		// every scheduling: the globally lowest erroring index can never
+		// be skipped, because skipping requires an even lower recorded
+		// one. A done-callback failure (doneErr) aborts outright: it is
+		// environmental (an emit pipe, a cache disk), not tied to a job
+		// index.
+		if failed.Load() {
+			mu.Lock()
+			skip := doneErr != nil || (firstErr != nil && ji > firstJob)
+			mu.Unlock()
+			if skip {
+				return
 			}
-		}()
+		}
+		j := jobs[ji]
+		rep, err := r.replicate(specs[j.si], j.rep, ar)
+		mu.Lock()
+		if err != nil {
+			failed.Store(true)
+			// Keep the error of the lowest job index so the reported
+			// failure does not depend on scheduling.
+			if ji < firstJob {
+				firstJob, firstErr = ji, fmt.Errorf("scenario %q replication %d: %w", specs[j.si].Name, j.rep, err)
+			}
+			mu.Unlock()
+			return
+		}
+		results[j.si][j.rep] = rep
+		remaining[j.si]--
+		complete := remaining[j.si] == 0
+		mu.Unlock()
+		if !complete || done == nil {
+			return
+		}
+		// This worker owns the spec's results now (remaining hit zero),
+		// so summarising and reporting happen outside the result lock:
+		// other workers storing replications never wait on the
+		// callback's IO (cache writes, row emission).
+		emitMu.Lock()
+		err = done(j.si, summarize(specs[j.si], results[j.si]))
+		emitMu.Unlock()
+		results[j.si] = nil // the summary owns the data now
+		if err != nil {
+			mu.Lock()
+			if doneErr == nil {
+				doneErr = err
+			}
+			mu.Unlock()
+			failed.Store(true)
+		}
 	}
+	pool := r.ensurePool()
 	for ji := range jobs {
-		ch <- ji
+		ji := ji
+		pending.Add(1)
+		pool.jobs <- func(ar *arena) { process(ar, ji) }
 	}
-	close(ch)
-	wg.Wait()
+	pending.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return firstErr
 	}
-
-	sums := make([]*Summary, len(specs))
-	for i, sp := range specs {
-		sums[i] = summarize(sp, results[i])
-	}
-	return sums, nil
+	return doneErr
 }
 
 // replication is the raw outcome of one seeded run.
@@ -161,8 +273,9 @@ type replication struct {
 	stJain      float64 // capture only
 }
 
-// runReplication assembles and executes one seeded simulation.
-func runReplication(sp *Spec, rep int) (*replication, error) {
+// runReplication assembles and executes one seeded simulation on the
+// worker's arena.
+func runReplication(sp *Spec, rep int, ar *arena) (*replication, error) {
 	repSeed := sp.Seed + int64(rep)
 	tp, err := BuildTopology(&sp.Topology, repSeed)
 	if err != nil {
@@ -190,7 +303,7 @@ func runReplication(sp *Spec, rep int) (*replication, error) {
 		capWriter = trace.NewWriter(&capBuf)
 		cfg.Trace = capWriter
 	}
-	s, err := eventsim.New(cfg)
+	s, err := ar.simulator(cfg)
 	if err != nil {
 		return nil, err
 	}

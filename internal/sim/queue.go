@@ -16,9 +16,9 @@ type Event struct {
 	afn func(any)
 	arg any
 
-	dead bool   // set via Ref.Cancel; popped dead events are recycled
-	gen  uint32 // incremented on every recycle; Refs must match to act
-	index int   // position in the heap, maintained by eventHeap
+	dead  bool   // set via Ref.Cancel; popped dead events are recycled
+	gen   uint32 // incremented on every recycle; Refs must match to act
+	index int    // position in the heap, maintained by eventHeap
 }
 
 // Ref is a generation-checked handle to a scheduled event. The zero Ref

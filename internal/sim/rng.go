@@ -12,21 +12,44 @@ type RNG struct {
 	r *rand.Rand
 }
 
-// NewRNG returns a generator seeded with seed.
+// NewRNG returns a generator seeded with seed. The underlying source is
+// the repository's fast-seeding reimplementation of math/rand's
+// generator (see lfg.go); its draw sequence is bit-identical to
+// rand.New(rand.NewSource(seed)).
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	src := &lfgSource{}
+	src.Seed(seed)
+	return &RNG{r: rand.New(src)}
+}
+
+// Reseed reinitialises the generator in place, producing exactly the
+// stream NewRNG(seed) would — but reusing the internal source's state
+// arrays, which are the dominant per-simulator allocation. Pooled
+// simulator arenas reseed instead of reallocating.
+func (g *RNG) Reseed(seed int64) { g.r.Seed(seed) }
+
+// splitSeed derives the child seed for a sub-stream, consuming one draw
+// from the parent. SplitMix-style avalanche of (draw, stream).
+func (g *RNG) splitSeed(stream int64) int64 {
+	z := uint64(g.r.Int63()) ^ (uint64(stream) * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // Split derives an independent generator for a sub-component. The stream
 // index keeps components (e.g. per-node backoff draws) decoupled so that
 // adding a node does not perturb the draws of existing nodes.
 func (g *RNG) Split(stream int64) *RNG {
-	// SplitMix-style avalanche of (seed drawn from parent, stream).
-	z := uint64(g.r.Int63()) ^ (uint64(stream) * 0x9e3779b97f4a7c15)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return NewRNG(int64(z))
+	return NewRNG(g.splitSeed(stream))
+}
+
+// SplitInto reseeds dst with the stream Split would have created,
+// consuming the identical parent draw — the reallocation-free variant
+// for simulator arenas. dst must not be nil.
+func (g *RNG) SplitInto(stream int64, dst *RNG) {
+	dst.Reseed(g.splitSeed(stream))
 }
 
 // Float64 returns a uniform draw in [0,1).
@@ -79,7 +102,18 @@ func GeometricFromUniform(u, p float64) int {
 	if p <= 0 {
 		return math.MaxInt32
 	}
-	k := math.Floor(math.Log1p(-u) / math.Log1p(-p))
+	return GeometricFromUniformLogQ(u, math.Log1p(-p))
+}
+
+// GeometricFromUniformLogQ is GeometricFromUniform with the constant
+// denominator ln(1-p) precomputed by the caller — the backoff draw runs
+// once per station per busy period, and recomputing a log for a
+// parameter that changes only on controller updates is measurable in
+// sweep profiles. logQ must equal math.Log1p(-p) exactly (cache the
+// value, never a reciprocal: a multiply would round differently and
+// change draws). logQ must be finite and negative, i.e. p ∈ (0, 1).
+func GeometricFromUniformLogQ(u, logQ float64) int {
+	k := math.Floor(math.Log1p(-u) / logQ)
 	if k < 0 {
 		return 0
 	}

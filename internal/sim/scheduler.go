@@ -16,12 +16,26 @@ import "fmt"
 // logical thread of control. Run simulations in parallel by creating one
 // Scheduler per goroutine.
 type Scheduler struct {
-	now    Time
-	heap   eventHeap
+	now  Time
+	heap eventHeap
+	// next is a one-event fast slot holding the global minimum pending
+	// event (by (at, seq)), or nil. Discrete-event hot loops schedule
+	// the imminent event constantly — a frame's completion, the SIFS
+	// chain to its ACK — and the slot absorbs those push-then-pop-next
+	// cycles without touching the heap. The invariant "next precedes
+	// every heap entry" is maintained on every enqueue, so dispatch
+	// order is exactly the heap-only order.
+	next   *Event
 	seq    uint64
 	fired  uint64
 	halted bool
 	free   []*Event // recycled events, LIFO for cache warmth
+
+	// afterDispatch, when set, runs after every dispatched callback —
+	// the hook lazy-wakeup engines use to re-establish their candidate
+	// minimum exactly once per event, however many state transitions
+	// the callback performed (see eventsim's rearm).
+	afterDispatch func()
 }
 
 // NewScheduler returns a scheduler with the clock at zero.
@@ -35,7 +49,69 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events in the queue, including lazily
 // cancelled ones that have not yet been discarded.
-func (s *Scheduler) Pending() int { return s.heap.Len() }
+func (s *Scheduler) Pending() int {
+	n := s.heap.Len()
+	if s.next != nil {
+		n++
+	}
+	return n
+}
+
+// before reports whether a fires before b under the (at, seq) order.
+func before(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// enqueue inserts a pending event, keeping the fast slot the global
+// minimum.
+func (s *Scheduler) enqueue(e *Event) {
+	switch {
+	case s.next == nil:
+		if top := s.heap.peek(); top == nil || before(e, top) {
+			s.next = e
+			return
+		}
+	case before(e, s.next):
+		s.heap.push(s.next)
+		s.next = e
+		return
+	}
+	s.heap.push(e)
+}
+
+// dequeue removes and returns the earliest pending event, or nil.
+func (s *Scheduler) dequeue() *Event {
+	if e := s.next; e != nil {
+		s.next = nil
+		return e
+	}
+	return s.heap.pop()
+}
+
+// peekMin returns the earliest pending event without removing it.
+func (s *Scheduler) peekMin() *Event {
+	if s.next != nil {
+		return s.next
+	}
+	return s.heap.peek()
+}
+
+// peekLive returns the earliest live pending event, discarding
+// cancelled ones from the front of the queue. RunUntil must bound on a
+// live event: a cancelled minimum inside the window followed by a live
+// event beyond it would otherwise make Step fire past the bound.
+func (s *Scheduler) peekLive() *Event {
+	for {
+		e := s.peekMin()
+		if e == nil || !e.dead {
+			return e
+		}
+		s.release(s.dequeue())
+	}
+}
 
 // PoolSize returns the number of recycled events currently in the free
 // list. Exposed for allocation-regression tests.
@@ -68,7 +144,7 @@ func (s *Scheduler) schedule(t Time, fn func(), afn func(any), arg any) Ref {
 	e.at, e.seq = t, s.seq
 	e.fn, e.afn, e.arg = fn, afn, arg
 	s.seq++
-	s.heap.push(e)
+	s.enqueue(e)
 	return Ref{e: e, gen: e.gen}
 }
 
@@ -102,16 +178,68 @@ func (s *Scheduler) AfterArg(d Duration, fn func(any), arg any) Ref {
 	return s.AtArg(s.now.Add(d), fn, arg)
 }
 
+// TakeSeq consumes and returns the next event sequence number without
+// scheduling anything. It exists for lazy-wakeup schemes (see
+// eventsim's contention arming): a caller can reserve the FIFO
+// tie-break position an event *would* have received if scheduled now,
+// defer the actual heap insertion, and later submit the event through
+// AtArgSeq with its reserved position — so replacing eager scheduling
+// with lazy scheduling cannot reorder same-instant ties.
+func (s *Scheduler) TakeSeq() uint64 {
+	seq := s.seq
+	s.seq++
+	return seq
+}
+
+// AtArgSeq schedules fn(arg) at instant t with an explicit sequence
+// number previously reserved via TakeSeq. Same-instant events fire in
+// ascending sequence order, so the event behaves exactly as if it had
+// been scheduled at reservation time. The caller must not submit the
+// same reservation to more than one live event.
+func (s *Scheduler) AtArgSeq(t Time, seq uint64, fn func(any), arg any) Ref {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := s.alloc()
+	e.at, e.seq = t, seq
+	e.fn, e.afn, e.arg = nil, fn, arg
+	s.enqueue(e)
+	return Ref{e: e, gen: e.gen}
+}
+
+// Reset returns the scheduler to its initial state — clock at zero,
+// empty queue, sequence and fired counters at zero — while keeping the
+// event free list, so a reused scheduler schedules without re-warming
+// its pool. Pending events are recycled; their generation bump expires
+// any outstanding Refs. A reset scheduler is indistinguishable from a
+// fresh one to every caller except PoolSize.
+func (s *Scheduler) Reset() {
+	for {
+		e := s.dequeue()
+		if e == nil {
+			break
+		}
+		s.release(e)
+	}
+	s.now, s.seq, s.fired, s.halted = 0, 0, 0, false
+}
+
 // Halt stops the event loop after the currently executing event returns.
 // Remaining events stay queued; Run and RunUntil may be called again to
 // resume.
 func (s *Scheduler) Halt() { s.halted = true }
 
+// SetAfterDispatch installs fn to run after every dispatched event
+// callback (nil uninstalls). The hook may schedule events; it must not
+// call Step/Run itself. Reset leaves the hook installed — it is
+// configuration, not run state.
+func (s *Scheduler) SetAfterDispatch(fn func()) { s.afterDispatch = fn }
+
 // Step executes the single next live event and returns true, or returns
 // false when the queue holds no live events.
 func (s *Scheduler) Step() bool {
 	for {
-		e := s.heap.pop()
+		e := s.dequeue()
 		if e == nil {
 			return false
 		}
@@ -130,6 +258,9 @@ func (s *Scheduler) Step() bool {
 		} else {
 			fn()
 		}
+		if s.afterDispatch != nil {
+			s.afterDispatch()
+		}
 		return true
 	}
 }
@@ -146,7 +277,7 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) RunUntil(end Time) {
 	s.halted = false
 	for !s.halted {
-		e := s.heap.peek()
+		e := s.peekLive()
 		if e == nil || e.at > end {
 			break
 		}

@@ -186,6 +186,27 @@ func TestSchedulerRunUntil(t *testing.T) {
 	}
 }
 
+// A cancelled event inside the window must not let RunUntil fire a live
+// event beyond it: the bound is decided on the earliest LIVE event.
+func TestSchedulerRunUntilSkipsDeadMinimum(t *testing.T) {
+	s := NewScheduler()
+	r := s.At(10, func() { t.Error("cancelled event fired") })
+	fired := false
+	s.At(20, func() { fired = true })
+	r.Cancel()
+	s.RunUntil(15)
+	if fired {
+		t.Error("RunUntil(15) fired the event at 20")
+	}
+	if s.Now() != 15 {
+		t.Errorf("clock = %v, want 15", s.Now())
+	}
+	s.RunUntil(25)
+	if !fired {
+		t.Error("event at 20 never fired")
+	}
+}
+
 func TestSchedulerPanicsOnPastEvent(t *testing.T) {
 	s := NewScheduler()
 	s.At(100, func() {

@@ -13,6 +13,7 @@ package slotsim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/frame"
@@ -94,14 +95,36 @@ type Simulator struct {
 	// saturated hot loop skips every arrival check when false.
 	unsat bool
 
+	// tracker holds every backlogged station keyed by absolute backoff
+	// expiry (see backoff.go): expired-counter collection and the
+	// minimum-counter idle jump are bucket operations instead of O(N)
+	// scans, and advancing the clock is a base bump instead of a
+	// decrement of every counter.
+	tracker backoffTracker
+
+	// hasObservers gates the per-busy-period MediumObserver fan-out;
+	// memorylessIdx lists the stations whose policies redraw at every
+	// busy-period boundary (ascending). Both are fixed at init, so the
+	// resume pass skips entirely for window policies (DCF) and touches
+	// only the stations that actually draw otherwise.
+	hasObservers  bool
+	memorylessIdx []int32
+
 	res Result
 }
 
 type slotStation struct {
-	policy  mac.Policy
-	rng     *sim.RNG
-	counter int
-	bits    int64
+	policy mac.Policy
+	// observer and memoryless cache the policy's optional-interface
+	// shape (fixed per run).
+	observer   mac.MediumObserver
+	memoryless bool
+	rng        *sim.RNG
+	counter    int
+	// expiry is the absolute slot index at which counter reaches zero,
+	// valid while the station is tracked (backlogged).
+	expiry int64
+	bits   int64
 
 	// Unsaturated-source state: the arrival spec, its dedicated RNG
 	// substream, the (continuous) instant of the next arrival, and the
@@ -117,49 +140,121 @@ func (st *slotStation) backlogged() bool {
 	return !st.arr.Unsaturated() || st.qlen > 0
 }
 
-// New validates cfg and builds a simulator.
-func New(cfg Config) (*Simulator, error) {
-	if len(cfg.Policies) == 0 {
-		return nil, fmt.Errorf("slotsim: no policies")
+// withDefaults validates the configuration and fills defaults.
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Policies) == 0 {
+		return c, fmt.Errorf("slotsim: no policies")
 	}
-	for i, p := range cfg.Policies {
+	for i, p := range c.Policies {
 		if p == nil {
-			return nil, fmt.Errorf("slotsim: policy %d is nil", i)
+			return c, fmt.Errorf("slotsim: policy %d is nil", i)
 		}
 	}
-	if cfg.PHY == (model.PHY{}) {
-		cfg.PHY = model.PaperPHY()
+	if c.PHY == (model.PHY{}) {
+		c.PHY = model.PaperPHY()
 	}
-	if err := cfg.PHY.Validate(); err != nil {
-		return nil, err
+	if err := c.PHY.Validate(); err != nil {
+		return c, err
 	}
-	if cfg.UpdatePeriod == 0 {
-		cfg.UpdatePeriod = 250 * sim.Millisecond
+	if c.UpdatePeriod == 0 {
+		c.UpdatePeriod = 250 * sim.Millisecond
 	}
-	if cfg.UpdatePeriod < 0 {
-		return nil, fmt.Errorf("slotsim: negative UpdatePeriod")
+	if c.UpdatePeriod < 0 {
+		return c, fmt.Errorf("slotsim: negative UpdatePeriod")
 	}
-	if cfg.Arrivals != nil {
-		if len(cfg.Arrivals) != len(cfg.Policies) {
-			return nil, fmt.Errorf("slotsim: %d arrival specs for %d stations", len(cfg.Arrivals), len(cfg.Policies))
+	if c.Arrivals != nil {
+		if len(c.Arrivals) != len(c.Policies) {
+			return c, fmt.Errorf("slotsim: %d arrival specs for %d stations", len(c.Arrivals), len(c.Policies))
 		}
-		for i, a := range cfg.Arrivals {
+		for i, a := range c.Arrivals {
 			if err := a.Validate(); err != nil {
-				return nil, fmt.Errorf("slotsim: station %d: %w", i, err)
+				return c, fmt.Errorf("slotsim: station %d: %w", i, err)
 			}
 			if a.Kind == traffic.OnOff {
-				return nil, fmt.Errorf("slotsim: station %d: onoff arrivals need the continuous clock of eventsim", i)
+				return c, fmt.Errorf("slotsim: station %d: onoff arrivals need the continuous clock of eventsim", i)
 			}
 		}
 	}
-	s := &Simulator{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
-	s.stations = make([]slotStation, len(cfg.Policies))
-	for i := range s.stations {
-		st := &s.stations[i]
-		st.policy = cfg.Policies[i]
-		st.rng = s.rng.Split(int64(i))
+	return c, nil
+}
+
+// New validates cfg and builds a simulator.
+func New(cfg Config) (*Simulator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{}
+	s.init(cfg)
+	return s, nil
+}
+
+// Reset reinitialises the simulator in place for a fresh run of cfg,
+// reusing the warmed arenas — station storage, RNG state arrays, result
+// slices and scratch buffers — so a pooled simulator replays runs
+// without per-run allocation. Bit-identical to a fresh New(cfg);
+// TestResetMatchesNew pins it. Reset reuses the Result's storage, so a
+// *Result returned by an earlier Run is invalidated: callers that keep
+// results across runs must copy what they need first.
+func (s *Simulator) Reset(cfg Config) error {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return err
+	}
+	s.init(cfg)
+	return nil
+}
+
+// init builds run state for a validated cfg on top of s's arenas. The
+// wholesale struct assignment returns every non-arena field to its zero
+// value; arenas are carried explicitly.
+func (s *Simulator) init(cfg Config) {
+	root := s.rng
+	if root == nil {
+		root = sim.NewRNG(cfg.Seed)
+	} else {
+		root.Reseed(cfg.Seed)
+	}
+	stations := s.stations
+	per := s.res.PerStation
+	tracker := s.tracker
+	tracker.reset(len(cfg.Policies))
+	memIdx := s.memorylessIdx[:0]
+	// Series storage is deliberately NOT reused: Result marshals nil and
+	// empty slices differently, and a reused-but-empty series would make
+	// a Reset run's encoding observably differ from a fresh New run. The
+	// few per-window appends are noise next to the RNG/station arenas.
+	*s = Simulator{cfg: cfg, rng: root, attackerIdx: s.attackerIdx[:0], tracker: tracker}
+	n := len(cfg.Policies)
+	if cap(stations) < n {
+		stations = make([]slotStation, n)
+	} else {
+		stations = stations[:n]
+	}
+	for i := range stations {
+		st := &stations[i]
+		rng, arrRNG := st.rng, st.arrRNG
+		*st = slotStation{policy: cfg.Policies[i], arrRNG: arrRNG}
+		st.observer, _ = st.policy.(mac.MediumObserver)
+		if m, ok := st.policy.(mac.Memoryless); ok {
+			st.memoryless = m.BackoffMemoryless()
+		}
+		if st.observer != nil {
+			s.hasObservers = true
+		}
+		if st.memoryless {
+			memIdx = append(memIdx, int32(i))
+		}
+		if rng == nil {
+			rng = root.Split(int64(i))
+		} else {
+			root.SplitInto(int64(i), rng)
+		}
+		st.rng = rng
 		st.counter = st.policy.NextBackoff(st.rng)
 	}
+	s.stations = stations
+	s.memorylessIdx = memIdx
 	if cfg.Arrivals != nil {
 		for i := range s.stations {
 			if cfg.Arrivals[i].Unsaturated() {
@@ -171,23 +266,41 @@ func New(cfg Config) (*Simulator, error) {
 		// exists, so all-saturated configs stay bit-identical to a
 		// nil-Arrivals run (same root-RNG consumption).
 		if s.unsat {
-			n := len(s.stations)
 			for i := range s.stations {
 				st := &s.stations[i]
 				st.arr = cfg.Arrivals[i]
-				st.arrRNG = s.rng.Split(int64(n + i))
+				if st.arrRNG == nil {
+					st.arrRNG = root.Split(int64(n + i))
+				} else {
+					root.SplitInto(int64(n+i), st.arrRNG)
+				}
 				if st.arr.Unsaturated() {
 					st.next = sim.Time(st.arr.NextInterArrival(st.arrRNG))
 				}
 			}
 		}
 	}
-	s.res.PerStation = make([]int64, len(cfg.Policies))
+	if cap(per) < n {
+		per = make([]int64, n)
+	} else {
+		per = per[:n]
+		for i := range per {
+			per[i] = 0
+		}
+	}
+	s.res.PerStation = per
+	// Register every backlogged station's initial counter with the
+	// tracker (saturated stations always; unsaturated ones join when
+	// their first packet arrives).
+	for i := range s.stations {
+		if s.stations[i].backlogged() {
+			s.track(i, s.stations[i].counter)
+		}
+	}
 	s.nextWindow = sim.Time(cfg.UpdatePeriod)
 	if cfg.Controller != nil {
 		s.control = cfg.Controller.Control()
 	}
-	return s, nil
 }
 
 // Run advances the simulation until at least the given simulated duration
@@ -199,30 +312,22 @@ func (s *Simulator) Run(duration sim.Duration) *Result {
 		if s.unsat {
 			s.admitArrivals()
 		}
-		// Collect backlogged stations whose counters expired; track the
-		// minimum surviving counter so idle runs can be fast-forwarded in
-		// one step instead of one slot at a time.
-		s.attackerIdx = s.attackerIdx[:0]
-		minCounter := int(^uint(0) >> 1)
-		for i := range s.stations {
-			if !s.stations[i].backlogged() {
-				continue
-			}
-			c := s.stations[i].counter
-			if c == 0 {
-				s.attackerIdx = append(s.attackerIdx, i)
-			} else if c < minCounter {
-				minCounter = c
-			}
-		}
+		// Backlogged stations whose counters expired sit in the
+		// tracker's base bucket — no per-station scan. Bucket order is
+		// arbitrary, so restore the ascending order the draw paths rely
+		// on.
+		s.attackerIdx = s.tracker.takeExpired(s.attackerIdx[:0])
 		attackers := len(s.attackerIdx)
+		if attackers > 1 {
+			sort.Ints(s.attackerIdx)
+		}
 		switch {
 		case attackers == 0:
 			// All backlogged counters are ≥ 1: the next minCounter slots
 			// are idle by construction. Jump them at once, capped at the
 			// next controller-window boundary so the windowed series
 			// closes at exactly the same instants as the per-slot walk.
-			jump := minCounter
+			jump := s.tracker.minCounter()
 			if boundary := int((s.nextWindow.Sub(s.now) + s.cfg.PHY.Slot - 1) / s.cfg.PHY.Slot); boundary >= 1 && boundary < jump {
 				jump = boundary
 			}
@@ -242,11 +347,7 @@ func (s *Simulator) Run(duration sim.Duration) *Result {
 			s.res.IdleSlots += int64(jump)
 			idleRun += int64(jump)
 			s.now = s.now.Add(sim.Duration(jump) * s.cfg.PHY.Slot)
-			for i := range s.stations {
-				if s.stations[i].backlogged() {
-					s.stations[i].counter -= jump
-				}
-			}
+			s.tracker.advance(jump)
 		case attackers == 1:
 			winner := s.attackerIdx[0]
 			st := &s.stations[winner]
@@ -299,29 +400,61 @@ func (s *Simulator) Run(duration sim.Duration) *Result {
 	return &s.res
 }
 
+// track registers station i's freshly drawn counter with the tracker.
+func (s *Simulator) track(i, counter int) {
+	st := &s.stations[i]
+	st.counter = counter
+	st.expiry = s.tracker.base + int64(counter)
+	s.tracker.insert(i, counter)
+}
+
+// untrack removes station i from the tracker.
+func (s *Simulator) untrack(i int) {
+	st := &s.stations[i]
+	s.tracker.remove(i, int(st.expiry-s.tracker.base))
+}
+
 // observe feeds medium-observing policies (IdleSense) the idle run that
-// preceded the busy period just starting.
+// preceded the busy period just starting. Skipped outright when no
+// policy observes the medium.
 func (s *Simulator) observe(idleRun int64) {
+	if !s.hasObservers {
+		return
+	}
 	for i := range s.stations {
-		if obs, ok := s.stations[i].policy.(mac.MediumObserver); ok {
+		if obs := s.stations[i].observer; obs != nil {
 			obs.ObserveTransmission(float64(idleRun))
 		}
 	}
 }
 
-// redraw draws a fresh backoff for station i after an attempt.
+// redraw draws a fresh backoff for station i after an attempt (i has
+// been taken out of the tracker with the expired bucket) and re-tracks
+// it while it remains backlogged. The draw is consumed regardless — the
+// pre-tracker code drew unconditionally, and every draw is pinned.
 func (s *Simulator) redraw(i int) {
 	st := &s.stations[i]
-	st.counter = st.policy.NextBackoff(st.rng)
+	c := st.policy.NextBackoff(st.rng)
+	if st.backlogged() {
+		s.track(i, c)
+	} else {
+		st.counter = c
+	}
 }
 
 // resume applies post-busy-period counter semantics to the stations that
-// did not attempt in the closing busy period: memoryless policies redraw,
-// window policies keep their frozen residual. attackers lists the
-// stations that transmitted (already redrawn by their outcome paths).
+// did not attempt in the closing busy period: memoryless policies redraw
+// (and move buckets), window policies keep their frozen residual — and
+// their tracker position — untouched, making this pass free for DCF.
+// attackers lists the stations that transmitted (already redrawn by
+// their outcome paths), sorted ascending.
 func (s *Simulator) resume(attackers []int) {
-	k := 0 // attackers is sorted ascending by construction
-	for i := range s.stations {
+	k := 0
+	for _, i32 := range s.memorylessIdx {
+		i := int(i32)
+		for k < len(attackers) && attackers[k] < i {
+			k++
+		}
 		if k < len(attackers) && attackers[k] == i {
 			k++
 			continue
@@ -330,9 +463,8 @@ func (s *Simulator) resume(attackers []int) {
 		if !st.backlogged() {
 			continue // no frame, no counter to maintain
 		}
-		if m, ok := st.policy.(mac.Memoryless); ok && m.BackoffMemoryless() {
-			st.counter = st.policy.NextBackoff(st.rng)
-		}
+		s.untrack(i)
+		s.track(i, st.policy.NextBackoff(st.rng))
 	}
 }
 
@@ -353,8 +485,9 @@ func (s *Simulator) admitArrivals() {
 				st.qlen++
 				if st.qlen == 1 {
 					// A fresh head-of-line frame draws a fresh backoff
-					// from the policy's current state.
-					st.counter = st.policy.NextBackoff(st.rng)
+					// from the policy's current state and (re)joins the
+					// tracker.
+					s.track(i, st.policy.NextBackoff(st.rng))
 				}
 			}
 			st.next = st.next.Add(st.arr.NextInterArrival(st.arrRNG))

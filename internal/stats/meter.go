@@ -45,6 +45,34 @@ func (m *ThroughputMeter) ResetWindow(now sim.Time) {
 // WindowStart returns the start of the current window.
 func (m *ThroughputMeter) WindowStart() sim.Time { return m.lastReset }
 
+// Reset reinitialises the meter with its epoch at now, equivalent to
+// constructing it afresh — the arena-reuse counterpart of
+// NewThroughputMeter.
+func (m *ThroughputMeter) Reset(now sim.Time) {
+	*m = ThroughputMeter{start: now, lastReset: now}
+}
+
+// Reset empties the series in place, keeping the sample storage for
+// reuse.
+func (ts *TimeSeries) Reset(name string) {
+	ts.Name = name
+	ts.Times = ts.Times[:0]
+	ts.Values = ts.Values[:0]
+}
+
+// Clone returns a deep copy with storage independent of the receiver —
+// what simulator arenas hand out so a Result survives the arena's next
+// run. An empty series clones to nil storage, indistinguishable from
+// the zero value.
+func (ts *TimeSeries) Clone() TimeSeries {
+	out := TimeSeries{Name: ts.Name, MaxSize: ts.MaxSize}
+	if len(ts.Times) > 0 {
+		out.Times = append([]sim.Time(nil), ts.Times...)
+		out.Values = append([]float64(nil), ts.Values...)
+	}
+	return out
+}
+
 // TimeSeries records (time, value) samples, e.g. throughput or the control
 // variable over a run (Figs. 8–11).
 type TimeSeries struct {
@@ -163,4 +191,17 @@ func (k *IdleSlotTracker) Average() float64 {
 func (k *IdleSlotTracker) Reset() {
 	k.idleSlots = 0
 	k.busyPeriods = 0
+}
+
+// Rebind fully reinitialises the tracker for new slot/DIFS parameters —
+// accumulators, phase and epoch — so a pooled simulator arena can reuse
+// it across runs exactly as if freshly constructed.
+func (k *IdleSlotTracker) Rebind(slot, difs sim.Duration) {
+	if slot <= 0 {
+		panic(fmt.Sprintf("stats: non-positive slot %v", slot))
+	}
+	if difs < 0 {
+		panic(fmt.Sprintf("stats: negative DIFS %v", difs))
+	}
+	*k = IdleSlotTracker{slot: slot, difs: difs}
 }

@@ -103,15 +103,7 @@ type Runner struct {
 	Cache *Cache
 	// Shard restricts execution to one partition (zero = all points).
 	Shard Shard
-	// batch overrides the execution chunk size (tests only).
-	batch int
 }
-
-// pointBatch is how many points feed one RunBatch call. Chunking keeps
-// the worker pool saturated across points while bounding how much work
-// an interrupted run loses: every completed chunk is already in the
-// cache, so a resumed run skips it.
-const pointBatch = 64
 
 // Run executes the grid and returns the shard's results in point
 // order, plus the run statistics.
@@ -120,17 +112,20 @@ func (r *Runner) Run(g *Grid) ([]*PointResult, Stats, error) {
 	st, err := r.run(g, func(pr *PointResult) error {
 		out = append(out, pr)
 		return nil
-	})
+	}, nil)
 	return out, st, err
 }
 
 // Stream executes the grid and writes one JSONL row per owned point,
-// in point order, to w.
+// in point order, to w. Rows are buffered and flushed at cache-commit
+// boundaries — each time a contiguous run of completed points is
+// emitted — so an interrupted run leaves whole rows behind without
+// paying one small write syscall per point.
 func (r *Runner) Stream(g *Grid, w io.Writer) (Stats, error) {
 	bw := bufio.NewWriter(w)
 	st, err := r.run(g, func(pr *PointResult) error {
 		return writeRow(bw, pr)
-	})
+	}, bw.Flush)
 	if err != nil {
 		bw.Flush()
 		return st, err
@@ -161,11 +156,18 @@ func writeRow(w io.Writer, pr *PointResult) error {
 	return err
 }
 
-// run is the chunked execution core: expand, filter to the shard, and
-// for each chunk serve points from the cache where possible, simulate
-// the rest through scenario.Runner.RunBatch (the repository's single
-// fan-out path), persist fresh results, and emit rows in point order.
-func (r *Runner) run(g *Grid, emit func(*PointResult) error) (Stats, error) {
+// run is the pipelined execution core: expand, filter to the shard,
+// serve cache hits, and feed every remaining point's replications into
+// one shared scenario worker pool (the repository's single fan-out
+// path). Points complete out of order — small points no longer
+// serialise behind chunk barriers — but rows are emitted strictly in
+// point order: a completion cursor buffers out-of-order summaries and
+// drains every contiguous completed prefix, persisting each fresh
+// result to the cache the moment it lands. flush, when non-nil, runs
+// after each drained prefix — the cache-commit boundary — so streamed
+// output survives interruption in whole rows without a write syscall
+// per point.
+func (r *Runner) run(g *Grid, emit func(*PointResult) error, flush func() error) (Stats, error) {
 	var st Stats
 	if err := r.Shard.validate(); err != nil {
 		return st, err
@@ -183,53 +185,99 @@ func (r *Runner) run(g *Grid, emit func(*PointResult) error) (Stats, error) {
 	}
 	st.Owned = len(owned)
 
-	batch := r.batch
-	if batch <= 0 {
-		batch = pointBatch
-	}
-	sr := scenario.Runner{Parallelism: r.Parallelism}
-	for start := 0; start < len(owned); start += batch {
-		chunk := owned[start:min(start+batch, len(owned))]
-		sums := make([]*scenario.Summary, len(chunk))
-		var missIdx []int
-		var missSpecs []*scenario.Spec
-		for i, pt := range chunk {
-			if r.Cache != nil {
-				if sum, ok := r.Cache.Get(pt.Key); ok {
-					// The cached name is whatever sweep stored it first;
-					// report under this grid's canonical point name.
-					sum.Name = pt.Name
-					sums[i] = sum
-					st.Cached++
-					continue
-				}
+	// Emission cursor: rows leave strictly in point order; summaries
+	// landing out of order wait in sums until the prefix completes.
+	// Flushing is decoupled from emission so the warm cached path still
+	// batches writes: flushDirty runs at cache-commit boundaries (after
+	// each simulated completion's drain and after the cache pass), never
+	// per cached row.
+	sums := make([]*scenario.Summary, len(owned))
+	cursor := 0
+	dirty := false
+	advance := func() error {
+		for cursor < len(owned) && sums[cursor] != nil {
+			pt := owned[cursor]
+			sum := sums[cursor]
+			sums[cursor] = nil // release the buffered summary
+			if err := emit(&PointResult{Point: pt, Summary: sum}); err != nil {
+				return err
 			}
-			missIdx = append(missIdx, i)
-			missSpecs = append(missSpecs, &chunk[i].Spec)
+			cursor++
+			dirty = true
 		}
-		if len(missSpecs) > 0 {
-			got, err := sr.RunBatch(missSpecs)
-			if err != nil {
-				return st, err
-			}
-			for k, sum := range got {
-				i := missIdx[k]
+		return nil
+	}
+	flushDirty := func() error {
+		if !dirty || flush == nil {
+			return nil
+		}
+		dirty = false
+		return flush()
+	}
+
+	// Cache pass: satisfied points get their summary up front; misses
+	// go to the pool. The contiguous cached prefix is drained as it is
+	// discovered, so a warm re-run or resume streams rows with O(1)
+	// buffered summaries; only cache hits stuck behind an in-flight
+	// simulated point buffer, which the in-order job hand-out bounds by
+	// the pool's completion skew.
+	var missIdx []int
+	var missSpecs []*scenario.Spec
+	for i, pt := range owned {
+		if r.Cache != nil {
+			if sum, ok := r.Cache.Get(pt.Key); ok {
+				// The cached name is whatever sweep stored it first;
+				// report under this grid's canonical point name.
+				sum.Name = pt.Name
 				sums[i] = sum
-				st.Simulated++
-				if r.Cache != nil {
-					if err := r.Cache.Put(chunk[i].Key, &chunk[i].Spec, sum); err != nil {
+				st.Cached++
+				// While no miss precedes it, the hit is part of the
+				// contiguous prefix: emit immediately so a warm re-run
+				// streams with O(1) buffered summaries (flushed once
+				// after the pass).
+				if len(missIdx) == 0 {
+					if err := advance(); err != nil {
 						return st, err
 					}
 				}
+				continue
 			}
 		}
-		for i, pt := range chunk {
-			if err := emit(&PointResult{Point: pt, Summary: sums[i]}); err != nil {
-				return st, err
+		missIdx = append(missIdx, i)
+		missSpecs = append(missSpecs, &owned[i].Spec)
+	}
+	if err := flushDirty(); err != nil {
+		return st, err
+	}
+
+	if len(missSpecs) > 0 {
+		sr := scenario.Runner{Parallelism: r.Parallelism}
+		defer sr.Close()
+		// Cache-put, emit and flush failures abort the batch through the
+		// callback's error: the pool drains the remaining points
+		// unsimulated instead of burning CPU on results nobody will
+		// read.
+		runErr := sr.RunBatchFunc(missSpecs, func(k int, sum *scenario.Summary) error {
+			i := missIdx[k]
+			if r.Cache != nil {
+				if err := r.Cache.Put(owned[i].Key, &owned[i].Spec, sum); err != nil {
+					return err
+				}
 			}
+			sums[i] = sum
+			st.Simulated++
+			if err := advance(); err != nil {
+				return err
+			}
+			return flushDirty()
+		})
+		if runErr != nil {
+			return st, runErr
 		}
 	}
-	return st, nil
+	// Drain the tail (all-cached grids, or cached points after the last
+	// simulated one).
+	return st, advance()
 }
 
 // Merge combines shard JSONL outputs into the byte-exact unsharded

@@ -43,8 +43,7 @@ func TestShardMergeByteIdenticalAndCacheResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	var full bytes.Buffer
-	// A small batch size exercises the chunked execution path.
-	r := &Runner{Cache: fullCache, batch: 7}
+	r := &Runner{Cache: fullCache}
 	st, err := r.Stream(g, &full)
 	if err != nil {
 		t.Fatal(err)
@@ -59,12 +58,12 @@ func TestShardMergeByteIdenticalAndCacheResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	var s0, s1 bytes.Buffer
-	r0 := &Runner{Cache: shardCache, Shard: Shard{0, 2}, batch: 7}
+	r0 := &Runner{Cache: shardCache, Shard: Shard{0, 2}}
 	st0, err := r0.Stream(g, &s0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1 := &Runner{Cache: shardCache, Shard: Shard{1, 2}, batch: 7}
+	r1 := &Runner{Cache: shardCache, Shard: Shard{1, 2}}
 	st1, err := r1.Stream(g, &s1)
 	if err != nil {
 		t.Fatal(err)
