@@ -1,13 +1,23 @@
 # Development entry points. CI runs the same commands; see
 # .github/workflows/ci.yml.
 
-.PHONY: test verify bench bench-compare bench-smoke
+.PHONY: test verify bench bench-compare bench-smoke api api-check
 
 # Tier-1 verification: everything must build and every test must pass.
 verify:
 	go build ./... && go test ./...
 
 test: verify
+
+# Regenerate the committed public-API snapshot after an intentional
+# surface change (CI diffs it; see cmd/apisnapshot).
+api:
+	go run ./cmd/apisnapshot
+
+# The CI gate: fail if the exported wlan surface drifted from the
+# committed snapshot.
+api-check:
+	go run ./cmd/apisnapshot -check
 
 # Regenerate the committed benchmark-trajectory point. Run on a quiet
 # machine; the committed file is the baseline CI compares against.

@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -62,7 +63,7 @@ func runExperiment(b *testing.B, runner experiment.Runner, metricCol int) {
 	var tb *experiment.Table
 	var err error
 	for i := 0; i < b.N; i++ {
-		tb, err = runner(o)
+		tb, err = runner(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func BenchmarkTable2(b *testing.B) {
 	var tb *experiment.Table
 	var err error
 	for i := 0; i < b.N; i++ {
-		tb, err = experiment.Table2(o)
+		tb, err = experiment.Table2(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func BenchmarkFig7(b *testing.B) { runExperiment(b, experiment.Fig7, 1) }
 func BenchmarkTable3(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Table3(o); err != nil {
+		if _, err := experiment.Table3(context.Background(), o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -127,7 +128,7 @@ func BenchmarkFig10(b *testing.B) { runExperiment(b, experiment.Fig10and11, 2) }
 // BenchmarkFig12 regenerates Fig. 12 (fixed-point geometry; analytic).
 func BenchmarkFig12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Fig12(experiment.Options{}); err != nil {
+		if _, err := experiment.Fig12(context.Background(), experiment.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -143,7 +144,7 @@ func BenchmarkConvergence(b *testing.B) {
 	o := benchOptions()
 	o.Duration, o.Warmup = 30*sim.Second, 15*sim.Second
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Convergence(o); err != nil {
+		if _, err := experiment.Convergence(context.Background(), o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -158,7 +159,7 @@ func BenchmarkRTSCTS(b *testing.B) {
 func BenchmarkLadder(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.BaselineLadder(o); err != nil {
+		if _, err := experiment.BaselineLadder(context.Background(), o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -409,7 +410,7 @@ func BenchmarkSweepSmoke(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		st, err := (&sweep.Runner{}).Stream(g, io.Discard)
+		st, err := (&sweep.Runner{}).Stream(context.Background(), g, io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -439,7 +440,7 @@ func BenchmarkSweep120(b *testing.B) {
 		},
 	}
 	for i := 0; i < b.N; i++ {
-		st, err := (&sweep.Runner{}).Stream(g, io.Discard)
+		st, err := (&sweep.Runner{}).Stream(context.Background(), g, io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -463,7 +464,7 @@ func BenchmarkScenarioReplications(b *testing.B) {
 			Duration: scenario.Duration(200e6),
 			Seeds:    8,
 		}
-		if _, err := r.Run(sp); err != nil {
+		if _, err := r.Run(context.Background(), sp); err != nil {
 			b.Fatal(err)
 		}
 	}

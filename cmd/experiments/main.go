@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/experiment"
@@ -30,6 +33,11 @@ func main() {
 		cacheDir = flag.String("cache", "", "back figure sweeps with the content-addressed sweep cache at this directory")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context: the running figure aborts at
+	// its next cell/replication boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -75,7 +83,7 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		table, err := runner(opts)
+		table, err := runner(ctx, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
 			os.Exit(1)

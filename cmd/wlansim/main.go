@@ -1,6 +1,8 @@
 // Command wlansim runs WLAN simulations and prints summaries: either a
 // single ad-hoc run assembled from flags, or a declarative scenario file
-// executed through the parallel scenario runner.
+// executed through the parallel scenario runner. Every mode is a thin
+// shell over the public wlan.Lab facade, and every mode cancels cleanly
+// on SIGINT/SIGTERM (in-flight replications finish, the rest drain).
 //
 // Examples:
 //
@@ -14,19 +16,21 @@
 //	wlansim -scheme 802.11 -nodes 20 -disc 16 -seed 7 -series
 //	wlansim -scheme wTOP-CSMA -nodes 10 -weights 1,1,1,2,2,2,3,3,3,3
 //	wlansim -scheme TORA-CSMA -nodes 40 -duration 120s -fast
+//	wlansim -scheme 802.11 -nodes 40 -engine slotsim -fast
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
-	"repro/internal/scenario"
-	"repro/internal/sweep"
 	"repro/wlan"
 )
 
@@ -45,31 +49,41 @@ func main() {
 		mergeOut  = flag.String("merge", "", "merge shard JSONL files (the remaining arguments) into this file, restoring unsharded byte-identical order")
 	)
 	var (
-		scheme   = flag.String("scheme", "802.11", "channel access scheme: 802.11, IdleSense, wTOP-CSMA, TORA-CSMA")
-		nodes    = flag.Int("nodes", 20, "number of stations")
-		disc     = flag.Float64("disc", 0, "place stations uniformly in a disc of this radius in metres (0 = fully connected circle)")
-		duration = flag.Duration("duration", 30*time.Second, "simulated run time")
-		seed     = flag.Int64("seed", 1, "random seed")
-		weights  = flag.String("weights", "", "comma-separated per-station weights (wTOP-CSMA only)")
-		series   = flag.Bool("series", false, "print the windowed throughput/control time series")
-		perNode  = flag.Bool("per-node", false, "print per-station throughput")
-		rtscts   = flag.Bool("rtscts", false, "enable the RTS/CTS exchange")
-		errRate  = flag.Float64("error-rate", 0, "i.i.d. data frame error rate in [0,1)")
-		traceOut = flag.String("trace", "", "write a JSONL frame capture to this file")
-		fast     = flag.Bool("fast", false, "engine-speed mode: print wall-clock time and events/sec alongside the summary")
+		schemeName = flag.String("scheme", "802.11", "channel access scheme: 802.11, IdleSense, wTOP-CSMA, TORA-CSMA")
+		engine     = flag.String("engine", "eventsim", "simulation engine: eventsim (continuous-time, hidden-node capable) or slotsim (slot-synchronous, connected-only, fast)")
+		nodes      = flag.Int("nodes", 20, "number of stations")
+		disc       = flag.Float64("disc", 0, "place stations uniformly in a disc of this radius in metres (0 = fully connected circle)")
+		duration   = flag.Duration("duration", 30*time.Second, "simulated run time")
+		seed       = flag.Int64("seed", 1, "random seed")
+		weights    = flag.String("weights", "", "comma-separated per-station weights (wTOP-CSMA only)")
+		series     = flag.Bool("series", false, "print the windowed throughput/control time series")
+		perNode    = flag.Bool("per-node", false, "print per-station throughput")
+		rtscts     = flag.Bool("rtscts", false, "enable the RTS/CTS exchange")
+		errRate    = flag.Float64("error-rate", 0, "i.i.d. data frame error rate in [0,1)")
+		traceOut   = flag.String("trace", "", "write a JSONL frame capture to this file")
+		fast       = flag.Bool("fast", false, "engine-speed mode: print wall-clock time and events/sec alongside the summary")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context: replications in flight finish,
+	// everything else drains, and the process exits with a clean error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *mergeOut != "" {
 		runMerge(*mergeOut, flag.Args())
 		return
 	}
+
+	lab := wlan.NewLab(wlan.WithParallelism(*parallel))
+	defer lab.Close()
+
 	if *sweepPath != "" {
-		runSweep(*sweepPath, *sweepOut, *shardSpec, *cacheDir, *parallel)
+		runSweep(ctx, lab, *sweepPath, *sweepOut, *shardSpec, *cacheDir)
 		return
 	}
 	if *scenarioPath != "" {
-		runScenario(*scenarioPath, *quick, *parallel, *summaryJSON)
+		runScenario(ctx, lab, *scenarioPath, *quick, *summaryJSON)
 		return
 	}
 
@@ -82,7 +96,8 @@ func main() {
 
 	cfg := wlan.Config{
 		Topology:       tp,
-		Scheme:         wlan.Scheme(*scheme),
+		Engine:         wlan.Engine(*engine),
+		Scheme:         wlan.Scheme(*schemeName),
 		Duration:       *duration,
 		Seed:           *seed,
 		RTSCTS:         *rtscts,
@@ -109,7 +124,7 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := wlan.Run(cfg)
+	res, err := lab.Run(ctx, cfg)
 	wall := time.Since(start)
 	if err != nil {
 		fatalf("%v", err)
@@ -121,7 +136,7 @@ func main() {
 		fmt.Printf("trace       %d frames -> %s\n", traceWriter.Count(), *traceOut)
 	}
 
-	fmt.Printf("scheme      %s\n", *scheme)
+	fmt.Printf("scheme      %s\n", *schemeName)
 	fmt.Printf("stations    %d (hidden pairs: %d)\n", tp.N(), len(tp.HiddenPairs()))
 	fmt.Printf("duration    %v simulated\n", *duration)
 	fmt.Printf("throughput  %.3f Mbps (converged %.3f Mbps)\n",
@@ -157,33 +172,29 @@ func main() {
 }
 
 // runSweep loads a sweep grid, executes (its shard of) the expanded
-// cross-product through the cached sweep runner and streams one JSONL
-// row per point. The final stats line goes to stdout — CI greps its
-// "N simulated" figure to prove cache hits — unless the rows
+// cross-product through the Lab's cached sweep path and streams one
+// JSONL row per point. The final stats line goes to stdout — CI greps
+// its "N simulated" figure to prove cache hits — unless the rows
 // themselves stream to stdout, in which case stats go to stderr.
-func runSweep(path, outPath, shardSpec, cacheDir string, parallelism int) {
+func runSweep(ctx context.Context, lab *wlan.Lab, path, outPath, shardSpec, cacheDir string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	g, err := sweep.Decode(data)
+	g, err := wlan.DecodeSweep(data)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	r := &sweep.Runner{Parallelism: parallelism}
+	var opts []wlan.SweepOption
 	if shardSpec != "" {
-		sh, err := sweep.ParseShard(shardSpec)
+		sh, err := wlan.ParseShard(shardSpec)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		r.Shard = sh
+		opts = append(opts, wlan.WithShard(sh.Index, sh.Count))
 	}
 	if cacheDir != "" {
-		c, err := sweep.OpenCache(cacheDir)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		r.Cache = c
+		opts = append(opts, wlan.WithSweepCache(cacheDir))
 	}
 	out := os.Stdout
 	statsOut := os.Stdout
@@ -201,7 +212,7 @@ func runSweep(path, outPath, shardSpec, cacheDir string, parallelism int) {
 		name = path
 	}
 	start := time.Now()
-	st, err := r.Stream(g, out)
+	st, err := lab.SweepStream(ctx, g, out, opts...)
 	if err != nil {
 		if out != os.Stdout {
 			out.Close()
@@ -241,7 +252,7 @@ func runMerge(outPath string, shardPaths []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	n, err := sweep.Merge(out, inputs...)
+	n, err := wlan.MergeSweeps(out, inputs...)
 	if err != nil {
 		out.Close()
 		fatalf("%v", err)
@@ -253,13 +264,13 @@ func runMerge(outPath string, shardPaths []string) {
 }
 
 // runScenario loads a scenario file, executes every scenario through the
-// parallel runner and prints one summary line each.
-func runScenario(path string, quick bool, parallelism int, summaryPath string) {
+// Lab's parallel runner and prints one summary line each.
+func runScenario(ctx context.Context, lab *wlan.Lab, path string, quick bool, summaryPath string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	suite, err := scenario.Decode(data)
+	suite, err := wlan.DecodeScenarios(data)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -276,9 +287,7 @@ func runScenario(path string, quick bool, parallelism int, summaryPath string) {
 	}
 	fmt.Printf("suite %s: %d scenario(s), %s\n", name, len(suite.Scenarios), scale)
 	start := time.Now()
-	r := scenario.Runner{Parallelism: parallelism}
-	defer r.Close()
-	sums, err := r.RunSuite(suite)
+	sums, err := lab.RunSuite(ctx, suite)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -293,7 +302,7 @@ func runScenario(path string, quick bool, parallelism int, summaryPath string) {
 	fmt.Printf("wall %v  events %d  events/sec %.0f\n",
 		wall.Round(time.Millisecond), events, float64(events)/wall.Seconds())
 	if summaryPath != "" {
-		out, err := scenario.MarshalSummaries(sums)
+		out, err := wlan.MarshalSummaries(sums)
 		if err != nil {
 			fatalf("%v", err)
 		}

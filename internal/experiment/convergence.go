@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/model"
@@ -22,7 +23,7 @@ import (
 // sweep — but each cell executes directly against the event simulator
 // because the analysis consumes the windowed throughput series, which
 // the aggregate scenario summary deliberately does not carry.
-func Convergence(o Options) (*Table, error) {
+func Convergence(ctx context.Context, o Options) (*Table, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -60,6 +61,9 @@ func Convergence(o Options) (*Table, error) {
 		var t90, eff, steady, sigma stats.Welford
 		converged := 0
 		for r := 0; r < pt.Spec.Seeds; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			seed := pt.Spec.Seed + int64(r)
 			tp, err := scenario.BuildTopology(&pt.Spec.Topology, seed)
 			if err != nil {

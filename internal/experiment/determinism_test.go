@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestExperimentDeterministicAcrossParallelism(t *testing.T) {
 		defer runtime.GOMAXPROCS(prev)
 		opts := o
 		opts.Parallelism = parallelism
-		tb, err := Fig3(opts)
+		tb, err := Fig3(context.Background(), opts)
 		if err != nil {
 			t.Fatal(err)
 		}

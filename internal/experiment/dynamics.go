@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -91,7 +92,7 @@ func runChurn(sp *scenario.Spec) (*eventsim.Result, error) {
 // churnTable renders the throughput/control/active time series of a
 // churn run — one table covering both of the paper's paired figures
 // (throughput vs. time and control variable vs. time).
-func churnTable(o Options, id, title string, sch Scheme) (*Table, error) {
+func churnTable(ctx context.Context, o Options, id, title string, sch Scheme) (*Table, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -99,9 +100,15 @@ func churnTable(o Options, id, title string, sch Scheme) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Expansion order follows the topology axis: connected then disc.
 	connected, err := runChurn(&pts[0].Spec)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	hidden, err := runChurn(&pts[1].Spec)
@@ -159,16 +166,16 @@ func controlAt(r *eventsim.Result, i int) string {
 
 // Fig8and9 reproduces Figures 8 and 9: wTOP-CSMA throughput and control
 // variable over time as the station count steps.
-func Fig8and9(o Options) (*Table, error) {
-	return churnTable(o, "fig8",
+func Fig8and9(ctx context.Context, o Options) (*Table, error) {
+	return churnTable(ctx, o, "fig8",
 		"wTOP-CSMA under node churn: throughput (Fig. 8) and p (Fig. 9)",
 		SchemeWTOP)
 }
 
 // Fig10and11 reproduces Figures 10 and 11: the same scenario for
 // TORA-CSMA (throughput and p0).
-func Fig10and11(o Options) (*Table, error) {
-	return churnTable(o, "fig10",
+func Fig10and11(ctx context.Context, o Options) (*Table, error) {
+	return churnTable(ctx, o, "fig10",
 		"TORA-CSMA under node churn: throughput (Fig. 10) and p0 (Fig. 11)",
 		SchemeTORA)
 }
@@ -177,7 +184,7 @@ func Fig10and11(o Options) (*Table, error) {
 // RandomReset attempt probability — τ_c(0;p0) versus the collision
 // response c(τ) for N = 10, m = 5, CWmin = 2. Pure analysis; no
 // simulation.
-func Fig12(Options) (*Table, error) {
+func Fig12(context.Context, Options) (*Table, error) {
 	back := model.BackoffParams{CWMin: 2, M: 5}
 	rr := model.RandomReset{PHY: model.PaperPHY(), Backoff: back, N: 10}
 	t := &Table{

@@ -9,6 +9,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -274,7 +275,7 @@ func (o Options) sweepRunner() (*sweep.Runner, error) {
 // over o.Seeds seeds. The grid expands through internal/sweep and every
 // point fans out through scenario.Runner.RunBatch — the repository's
 // single simulation fan-out path — with optional result caching.
-func runSweep(o Options, name string, kind Topo, schemes []Scheme) (map[Scheme]map[int]float64, error) {
+func runSweep(ctx context.Context, o Options, name string, kind Topo, schemes []Scheme) (map[Scheme]map[int]float64, error) {
 	g, err := grid(o, name, kind, schemes)
 	if err != nil {
 		return nil, err
@@ -283,7 +284,7 @@ func runSweep(o Options, name string, kind Topo, schemes []Scheme) (map[Scheme]m
 	if err != nil {
 		return nil, err
 	}
-	results, _, err := r.Run(g)
+	results, _, err := r.Run(ctx, g)
 	if err != nil {
 		return nil, err
 	}
@@ -299,11 +300,11 @@ func runSweep(o Options, name string, kind Topo, schemes []Scheme) (map[Scheme]m
 }
 
 // sweepTable renders a sweep as a throughput-vs-N table.
-func sweepTable(o Options, id, title string, kind Topo, schemes []Scheme) (*Table, error) {
+func sweepTable(ctx context.Context, o Options, id, title string, kind Topo, schemes []Scheme) (*Table, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	data, err := runSweep(o, id, kind, schemes)
+	data, err := runSweep(ctx, o, id, kind, schemes)
 	if err != nil {
 		return nil, err
 	}
@@ -334,8 +335,9 @@ func schemeNames(schemes []Scheme) []string {
 	return out
 }
 
-// Runner produces one paper artefact.
-type Runner func(Options) (*Table, error)
+// Runner produces one paper artefact. Cancelling ctx aborts the run —
+// at cell/replication granularity — and returns ctx.Err().
+type Runner func(ctx context.Context, o Options) (*Table, error)
 
 // Registry maps experiment ids to runners. Ids follow the paper's
 // numbering (fig1…fig13, tab2, tab3).

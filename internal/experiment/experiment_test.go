@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -137,7 +138,7 @@ func TestRegistryCoversAllIDs(t *testing.T) {
 }
 
 func TestFig12IsAnalyticAndOrdered(t *testing.T) {
-	tbl, err := Fig12(Options{})
+	tbl, err := Fig12(context.Background(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestSweepStructure(t *testing.T) {
 		t.Skip("runs simulations")
 	}
 	o := tinyOptions()
-	tbl, err := sweepTable(o, "t", "demo", TopoConnected, []Scheme{SchemeDCF})
+	tbl, err := sweepTable(context.Background(), o, "t", "demo", TopoConnected, []Scheme{SchemeDCF})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestTable2Structure(t *testing.T) {
 	o := tinyOptions()
 	o.Duration = 20 * sim.Second
 	o.Warmup = 10 * sim.Second
-	tbl, err := Table2(o)
+	tbl, err := Table2(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}

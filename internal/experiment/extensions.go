@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/eventsim"
@@ -15,7 +16,7 @@ import (
 // connected and the hidden (16 m disc) topologies. The expected shape:
 // RTS/CTS costs throughput where no hidden nodes exist (fixed 6 Mbps
 // control overhead per frame) and wins where they do.
-func RTSCTSComparison(o Options) (*Table, error) {
+func RTSCTSComparison(ctx context.Context, o Options) (*Table, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -26,9 +27,12 @@ func RTSCTSComparison(o Options) (*Table, error) {
 			"basic (hidden)", "RTS/CTS (hidden)"},
 	}
 	back := model.PaperBackoff()
-	measure := func(kind Topo, n int, rtscts bool) float64 {
+	measure := func(kind Topo, n int, rtscts bool) (float64, error) {
 		var w stats.Welford
 		for seed := 1; seed <= o.Seeds; seed++ {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 			tp := buildTopology(kind, n, int64(seed))
 			policies := make([]mac.Policy, n)
 			for i := range policies {
@@ -45,16 +49,21 @@ func RTSCTSComparison(o Options) (*Table, error) {
 			}
 			w.Add(s.Run(o.Duration / 2).Throughput)
 		}
-		return w.Mean()
+		return w.Mean(), nil
 	}
 	for _, n := range o.Nodes {
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", n),
-			fmt.Sprintf("%.3f", measure(TopoConnected, n, false)/1e6),
-			fmt.Sprintf("%.3f", measure(TopoConnected, n, true)/1e6),
-			fmt.Sprintf("%.3f", measure(TopoDisc16, n, false)/1e6),
-			fmt.Sprintf("%.3f", measure(TopoDisc16, n, true)/1e6),
-		})
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, cell := range []struct {
+			kind   Topo
+			rtscts bool
+		}{{TopoConnected, false}, {TopoConnected, true}, {TopoDisc16, false}, {TopoDisc16, true}} {
+			mbps, err := measure(cell.kind, n, cell.rtscts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.3f", mbps/1e6))
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = append(t.Notes,
 		"extension beyond the paper: quantifies the RTS/CTS trade-off of Section I",
@@ -65,7 +74,7 @@ func RTSCTSComparison(o Options) (*Table, error) {
 // BaselineLadder is a second extension: every contention policy in the
 // repository on one connected workload, ordered by throughput — a quick
 // regression yardstick for the whole MAC zoo.
-func BaselineLadder(o Options) (*Table, error) {
+func BaselineLadder(ctx context.Context, o Options) (*Table, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -91,6 +100,9 @@ func BaselineLadder(o Options) (*Table, error) {
 	for _, name := range names {
 		var w, cr stats.Welford
 		for seed := 1; seed <= o.Seeds; seed++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			tp := buildTopology(TopoConnected, n, int64(seed))
 			policies := make([]mac.Policy, n)
 			for i := range policies {

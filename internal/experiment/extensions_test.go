@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestRTSCTSComparisonShape(t *testing.T) {
 		t.Skip("runs simulations")
 	}
 	o := Options{Duration: 8 * sim.Second, Warmup: 4 * sim.Second, Seeds: 1, Nodes: []int{10, 30}}
-	tbl, err := RTSCTSComparison(o)
+	tbl, err := RTSCTSComparison(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestBaselineLadderShape(t *testing.T) {
 		t.Skip("runs simulations")
 	}
 	o := Options{Duration: 8 * sim.Second, Warmup: 4 * sim.Second, Seeds: 1, Nodes: []int{10}}
-	tbl, err := BaselineLadder(o)
+	tbl, err := BaselineLadder(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}

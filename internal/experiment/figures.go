@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -15,16 +16,16 @@ import (
 // without hidden nodes, as the number of stations grows. It is the
 // motivating figure — IdleSense wins handily in the connected network and
 // collapses once hidden nodes appear.
-func Fig1(o Options) (*Table, error) {
+func Fig1(ctx context.Context, o Options) (*Table, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
 	schemes := []Scheme{SchemeIdleSense, SchemeDCF}
-	conn, err := runSweep(o, "fig1-connected", TopoConnected, schemes)
+	conn, err := runSweep(ctx, o, "fig1-connected", TopoConnected, schemes)
 	if err != nil {
 		return nil, err
 	}
-	hid, err := runSweep(o, "fig1-hidden", TopoDisc16, schemes)
+	hid, err := runSweep(ctx, o, "fig1-hidden", TopoDisc16, schemes)
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +53,7 @@ func Fig1(o Options) (*Table, error) {
 // Fig2 reproduces Figure 2: p-persistent throughput vs. log(attempt
 // probability) in a fully connected network — the analytic Eq. (3) curve
 // cross-checked against the event simulator.
-func Fig2(o Options) (*Table, error) {
+func Fig2(ctx context.Context, o Options) (*Table, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -68,7 +69,10 @@ func Fig2(o Options) (*Table, error) {
 		row := []string{fmt.Sprintf("%.2f", logp)}
 		for _, n := range []int{20, 40} {
 			analytic := mdl.SystemThroughput(p, model.UnitWeights(n))
-			simulated := fixedPThroughput(o, TopoConnected, n, p)
+			simulated, err := fixedPThroughput(ctx, o, TopoConnected, n, p)
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, fmt.Sprintf("%.3f", analytic/1e6), fmt.Sprintf("%.3f", simulated/1e6))
 		}
 		t.Rows = append(t.Rows, row)
@@ -88,10 +92,13 @@ func sweepLogP() []float64 {
 }
 
 // fixedPThroughput measures the event simulator at a fixed attempt
-// probability (seed-averaged).
-func fixedPThroughput(o Options, kind Topo, n int, p float64) float64 {
+// probability (seed-averaged). Cancellation is observed between seeds.
+func fixedPThroughput(ctx context.Context, o Options, kind Topo, n int, p float64) (float64, error) {
 	var w stats.Welford
 	for seed := 1; seed <= o.Seeds; seed++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		tp := buildTopology(kind, n, int64(seed))
 		policies := make([]mac.Policy, n)
 		for i := range policies {
@@ -104,13 +111,16 @@ func fixedPThroughput(o Options, kind Topo, n int, p float64) float64 {
 		res := s.Run(o.Duration / 2) // open-loop: no controller transient
 		w.Add(res.Throughput)
 	}
-	return w.Mean()
+	return w.Mean(), nil
 }
 
 // Table2 reproduces Table II: wTOP-CSMA weighted fairness with weights
 // 1,1,1,2,2,2,3,3,3,3 across ten stations.
-func Table2(o Options) (*Table, error) {
+func Table2(ctx context.Context, o Options) (*Table, error) {
 	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	weights := []float64{1, 1, 1, 2, 2, 2, 3, 3, 3, 3}
@@ -155,8 +165,8 @@ func Table2(o Options) (*Table, error) {
 
 // Fig3 reproduces Figure 3: throughput vs. N for all four schemes in the
 // fully connected network.
-func Fig3(o Options) (*Table, error) {
-	return sweepTable(o, "fig3",
+func Fig3(ctx context.Context, o Options) (*Table, error) {
+	return sweepTable(ctx, o, "fig3",
 		"throughput vs number of stations, fully connected (Mbps)",
 		TopoConnected,
 		[]Scheme{SchemeTORA, SchemeWTOP, SchemeIdleSense, SchemeDCF})
@@ -165,7 +175,7 @@ func Fig3(o Options) (*Table, error) {
 // Fig4 reproduces Figure 4: p-persistent throughput vs. attempt
 // probability in hidden-node topologies — the quasi-concavity evidence
 // that justifies applying Kiefer–Wolfowitz where no analytic model exists.
-func Fig4(o Options) (*Table, error) {
+func Fig4(ctx context.Context, o Options) (*Table, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -180,7 +190,11 @@ func Fig4(o Options) (*Table, error) {
 		row := []string{fmt.Sprintf("%.2f", logp)}
 		for _, kind := range []Topo{TopoDisc16, TopoDisc20} {
 			for _, n := range []int{20, 40} {
-				row = append(row, fmt.Sprintf("%.3f", fixedPThroughput(o, kind, n, p)/1e6))
+				simulated, err := fixedPThroughput(ctx, o, kind, n, p)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.3f", simulated/1e6))
 			}
 		}
 		// Reorder: the column header groups by disc then N; keep as is.
@@ -192,8 +206,8 @@ func Fig4(o Options) (*Table, error) {
 
 // Fig5 reproduces Figure 5: RandomReset throughput vs. reset probability
 // p0 (j = 0) in hidden-node topologies.
-func Fig5(o Options) (*Table, error) {
-	return randomResetSweep(o, "fig5",
+func Fig5(ctx context.Context, o Options) (*Table, error) {
+	return randomResetSweep(ctx, o, "fig5",
 		"RandomReset throughput vs p0 (j=0), hidden nodes (Mbps)",
 		[]Topo{TopoDisc16, TopoDisc20})
 }
@@ -201,7 +215,7 @@ func Fig5(o Options) (*Table, error) {
 // Fig13 reproduces Figure 13: RandomReset throughput vs. p0 (j = 0) in
 // the fully connected network, with the appendix fixed-point model
 // alongside the simulation.
-func Fig13(o Options) (*Table, error) {
+func Fig13(ctx context.Context, o Options) (*Table, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -222,7 +236,10 @@ func Fig13(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			simulated := randomResetThroughput(o, TopoConnected, n, 0, p0)
+			simulated, err := randomResetThroughput(ctx, o, TopoConnected, n, 0, p0)
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, fmt.Sprintf("%.3f", analytic/1e6), fmt.Sprintf("%.3f", simulated/1e6))
 		}
 		t.Rows = append(t.Rows, row)
@@ -231,7 +248,7 @@ func Fig13(o Options) (*Table, error) {
 }
 
 // randomResetSweep renders throughput vs p0 tables for hidden topologies.
-func randomResetSweep(o Options, id, title string, kinds []Topo) (*Table, error) {
+func randomResetSweep(ctx context.Context, o Options, id, title string, kinds []Topo) (*Table, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -246,7 +263,11 @@ func randomResetSweep(o Options, id, title string, kinds []Topo) (*Table, error)
 		row := []string{fmt.Sprintf("%.1f", p0)}
 		for _, kind := range kinds {
 			for _, n := range []int{20, 40} {
-				row = append(row, fmt.Sprintf("%.3f", randomResetThroughput(o, kind, n, 0, p0)/1e6))
+				simulated, err := randomResetThroughput(ctx, o, kind, n, 0, p0)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.3f", simulated/1e6))
 			}
 		}
 		t.Rows = append(t.Rows, row)
@@ -255,10 +276,14 @@ func randomResetSweep(o Options, id, title string, kinds []Topo) (*Table, error)
 }
 
 // randomResetThroughput measures open-loop RandomReset(j;p0) throughput.
-func randomResetThroughput(o Options, kind Topo, n, j int, p0 float64) float64 {
+// Cancellation is observed between seeds.
+func randomResetThroughput(ctx context.Context, o Options, kind Topo, n, j int, p0 float64) (float64, error) {
 	back := model.PaperBackoff()
 	var w stats.Welford
 	for seed := 1; seed <= o.Seeds; seed++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		tp := buildTopology(kind, n, int64(seed))
 		policies := make([]mac.Policy, n)
 		for i := range policies {
@@ -270,13 +295,13 @@ func randomResetThroughput(o Options, kind Topo, n, j int, p0 float64) float64 {
 		}
 		w.Add(s.Run(o.Duration / 2).Throughput)
 	}
-	return w.Mean()
+	return w.Mean(), nil
 }
 
 // Fig6 reproduces Figure 6: throughput vs. N with stations in a 16 m
 // disc (hidden nodes present).
-func Fig6(o Options) (*Table, error) {
-	return sweepTable(o, "fig6",
+func Fig6(ctx context.Context, o Options) (*Table, error) {
+	return sweepTable(ctx, o, "fig6",
 		"throughput vs number of stations, disc radius 16 m (Mbps)",
 		TopoDisc16,
 		[]Scheme{SchemeTORA, SchemeWTOP, SchemeDCF, SchemeIdleSense})
@@ -284,8 +309,8 @@ func Fig6(o Options) (*Table, error) {
 
 // Fig7 reproduces Figure 7: throughput vs. N with stations in a 20 m
 // disc (more hidden pairs).
-func Fig7(o Options) (*Table, error) {
-	return sweepTable(o, "fig7",
+func Fig7(ctx context.Context, o Options) (*Table, error) {
+	return sweepTable(ctx, o, "fig7",
 		"throughput vs number of stations, disc radius 20 m (Mbps)",
 		TopoDisc20,
 		[]Scheme{SchemeTORA, SchemeWTOP, SchemeDCF, SchemeIdleSense})
@@ -297,7 +322,7 @@ func Fig7(o Options) (*Table, error) {
 // statistic at the 3.1 target everywhere, yet its throughput collapses
 // with hidden nodes, while wTOP-CSMA's converged idle-slot level varies
 // by configuration — proof that no fixed target can be right.
-func Table3(o Options) (*Table, error) {
+func Table3(ctx context.Context, o Options) (*Table, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -319,6 +344,9 @@ func Table3(o Options) (*Table, error) {
 			"wTOP idle", "wTOP Mbps"},
 	}
 	for _, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tp := buildTopology(spec.kind, n, spec.seed)
 		row := []string{spec.label}
 		for _, sch := range []Scheme{SchemeIdleSense, SchemeWTOP} {

@@ -25,15 +25,11 @@ func BuildTopology(ts *TopologySpec, repSeed int64) (*topo.Topology, error) {
 		}
 		rng := sim.NewRNG(seed)
 		pts := topo.UniformDisc(ts.N, ts.Radius, rng)
-		for i, p := range pts {
-			// Project just inside the rim so float rounding cannot push
-			// a station past the 16 m decode radius (the paper's Fig. 7
-			// construction keeps AP connectivity for every station).
-			if d := p.Distance(topo.Point{}); d > 16 {
-				scale := 15.999 / d
-				pts[i] = topo.Point{X: p.X * scale, Y: p.Y * scale}
-			}
-		}
+		// Stations drawn beyond the decode radius are projected just
+		// inside its rim (the paper's Fig. 7 construction keeps AP
+		// connectivity for every station). The rim radius derives from
+		// the radii themselves — see topo.Radii.Rim.
+		topo.ClampToRim(pts, topo.PaperRadii())
 		t = topo.New(topo.Point{}, pts, topo.PaperRadii())
 	case TopoClusters:
 		t = topo.New(topo.Point{}, topo.TwoClusters(ts.N, ts.Separation), topo.PaperRadii())

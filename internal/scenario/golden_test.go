@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -57,7 +58,7 @@ func TestExampleGoldens(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			quick := su.Quick()
 			serial := Runner{Parallelism: 1}
-			sums, err := serial.RunSuite(quick)
+			sums, err := serial.RunSuite(context.Background(), quick)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -67,7 +68,7 @@ func TestExampleGoldens(t *testing.T) {
 			}
 
 			parallel := Runner{Parallelism: runtime.GOMAXPROCS(0)}
-			psums, err := parallel.RunSuite(quick)
+			psums, err := parallel.RunSuite(context.Background(), quick)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,6 +15,10 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// ErrClosed is returned by Run/RunSuite/RunBatch/RunBatchFunc on a
+// Runner whose Close has begun.
+var ErrClosed = errors.New("scenario: runner is closed")
 
 // Runner executes scenario replications across a persistent worker
 // pool. Workers start lazily on the first run and live until Close;
@@ -39,6 +45,12 @@ type Runner struct {
 	poolOnce  sync.Once
 	closeOnce sync.Once
 	pool      *workerPool
+
+	// mu guards closed; active counts in-flight batches so Close can
+	// wait them out before tearing down the pool.
+	mu     sync.Mutex
+	closed bool
+	active sync.WaitGroup
 }
 
 // workerPool is the persistent executor: long-lived workers pulling
@@ -106,11 +118,26 @@ func (r *Runner) ensurePool() *workerPool {
 	return r.pool
 }
 
-// Close stops the worker pool and releases its arenas. Idempotent, and
-// a no-op on a Runner that never ran. The Runner must not be used
-// again after Close.
+// Close stops the worker pool and releases its arenas. The contract —
+// relied on by the public wlan.Lab facade, which exposes it directly:
+//
+//   - Idempotent: any number of Close calls, from any goroutines, are
+//     safe; every call returns only once teardown is complete.
+//   - Safe concurrently with in-flight batches: Close first marks the
+//     runner closed (new Run* calls fail with ErrClosed immediately),
+//     then waits for every in-flight batch to finish before stopping
+//     the workers. It never aborts running simulations.
+//   - A no-op on a Runner that never ran.
+//
+// Close must not be called from inside a batch's done callback: the
+// callback runs within the batch Close is waiting on, so it would
+// deadlock.
 func (r *Runner) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
 	r.closeOnce.Do(func() {
+		r.active.Wait()
 		if r.pool != nil {
 			close(r.pool.jobs)
 			r.pool.wg.Wait()
@@ -118,9 +145,20 @@ func (r *Runner) Close() {
 	})
 }
 
+// begin registers one in-flight batch, failing if Close has begun.
+func (r *Runner) begin() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	r.active.Add(1)
+	return nil
+}
+
 // Run executes one spec and returns its aggregate summary.
-func (r *Runner) Run(spec *Spec) (*Summary, error) {
-	sums, err := r.RunBatch([]*Spec{spec})
+func (r *Runner) Run(ctx context.Context, spec *Spec) (*Summary, error) {
+	sums, err := r.RunBatch(ctx, []*Spec{spec})
 	if err != nil {
 		return nil, err
 	}
@@ -129,21 +167,21 @@ func (r *Runner) Run(spec *Spec) (*Summary, error) {
 
 // RunSuite executes every scenario of a suite, fanning all replications
 // of all scenarios into one worker pool.
-func (r *Runner) RunSuite(su *Suite) ([]*Summary, error) {
+func (r *Runner) RunSuite(ctx context.Context, su *Suite) ([]*Summary, error) {
 	specs := make([]*Spec, len(su.Scenarios))
 	for i := range su.Scenarios {
 		specs[i] = &su.Scenarios[i]
 	}
-	return r.RunBatch(specs)
+	return r.RunBatch(ctx, specs)
 }
 
 // RunBatch validates the given specs and executes all their
 // replications through the shared worker pool — the repository's single
 // simulation fan-out path (the experiment harness routes its sweeps
 // through here too). It returns one Summary per spec, in spec order.
-func (r *Runner) RunBatch(specs []*Spec) ([]*Summary, error) {
+func (r *Runner) RunBatch(ctx context.Context, specs []*Spec) ([]*Summary, error) {
 	sums := make([]*Summary, len(specs))
-	err := r.RunBatchFunc(specs, func(i int, sum *Summary) error {
+	err := r.RunBatchFunc(ctx, specs, func(i int, sum *Summary) error {
 		sums[i] = sum
 		return nil
 	})
@@ -160,12 +198,27 @@ func (r *Runner) RunBatch(specs []*Spec) ([]*Summary, error) {
 // without barrier stalls. done calls are serialised (never concurrent)
 // but may run on worker goroutines; a non-nil error from done aborts
 // the batch, draining every remaining replication unsimulated. Specs
-// that complete before any failure are still reported. On simulation
-// failure the error of the lowest (spec, replication) index is
-// returned, whatever the scheduling; a done error takes effect
-// immediately and is returned only when no simulation error is
-// recorded.
-func (r *Runner) RunBatchFunc(specs []*Spec, done func(i int, sum *Summary) error) error {
+// that complete before any failure are still reported.
+//
+// Cancelling ctx aborts the batch at replication granularity: the
+// replication a worker is simulating runs to completion, every
+// not-yet-started replication drains unsimulated, and RunBatchFunc
+// returns ctx.Err() — after all of its workers have gone quiet, so a
+// cancelled call leaks nothing. A batch whose replications all
+// completed before the cancellation was observed reports its results
+// normally.
+//
+// Which error wins is deterministic in the recorded facts: a simulation
+// failure beats everything, and among simulation failures the error of
+// the lowest (spec, replication) index is returned whatever the
+// scheduling; next a done-callback error; context cancellation is
+// reported only when nothing else failed.
+func (r *Runner) RunBatchFunc(ctx context.Context, specs []*Spec, done func(i int, sum *Summary) error) error {
+	if err := r.begin(); err != nil {
+		return err
+	}
+	defer r.active.Done()
+
 	type job struct{ si, rep int }
 	var jobs []job
 	results := make([][]*replication, len(specs))
@@ -190,12 +243,22 @@ func (r *Runner) RunBatchFunc(specs []*Spec, done func(i int, sum *Summary) erro
 		mu       sync.Mutex // guards results/remaining/firstErr/firstJob/doneErr
 		emitMu   sync.Mutex // serialises done callbacks, off the result lock
 		failed   atomic.Bool
+		canceled atomic.Bool
 		firstErr error
 		doneErr  error
 		firstJob = len(jobs) // index of the erroring job, for determinism
 	)
 	process := func(ar *arena, ji int) {
 		defer pending.Done()
+		// Cancellation drains the job unsimulated. Unlike a simulation
+		// failure there is no index to keep deterministic — whichever
+		// jobs were in flight at cancel time finish, the rest never
+		// start — and ctx.Err() is only reported when no simulation or
+		// callback error was recorded.
+		if ctx.Err() != nil {
+			canceled.Store(true)
+			return
+		}
 		// Fail fast: once any replication has errored, drain the
 		// remaining jobs without simulating them — but only jobs above
 		// the currently recorded erroring index. A job below it must
@@ -261,7 +324,13 @@ func (r *Runner) RunBatchFunc(specs []*Spec, done func(i int, sum *Summary) erro
 	if firstErr != nil {
 		return firstErr
 	}
-	return doneErr
+	if doneErr != nil {
+		return doneErr
+	}
+	if canceled.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // replication is the raw outcome of one seeded run.

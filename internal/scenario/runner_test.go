@@ -2,9 +2,12 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -60,11 +63,11 @@ func TestRunnerParallelismInvariance(t *testing.T) {
 	}
 	serial := Runner{Parallelism: 1}
 	parallel := Runner{Parallelism: runtime.GOMAXPROCS(0)}
-	a, err := serial.RunSuite(su)
+	a, err := serial.RunSuite(context.Background(), su)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := parallel.RunSuite(su)
+	b, err := parallel.RunSuite(context.Background(), su)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +92,7 @@ func TestRunnerSummaryContent(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := Runner{}
-	sums, err := r.RunSuite(su)
+	sums, err := r.RunSuite(context.Background(), su)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +155,7 @@ func TestRunnerCapture(t *testing.T) {
 		Seeds:    2,
 	}
 	r := Runner{}
-	sum, err := r.Run(sp)
+	sum, err := r.Run(context.Background(), sp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +176,7 @@ func TestRunnerCapture(t *testing.T) {
 // Runner errors must be deterministic and name the failing scenario.
 func TestRunnerReportsSpecErrors(t *testing.T) {
 	r := Runner{}
-	if _, err := r.Run(&Spec{Name: "bad", Topology: TopologySpec{Kind: "torus", N: 3}}); err == nil {
+	if _, err := r.Run(context.Background(), &Spec{Name: "bad", Topology: TopologySpec{Kind: "torus", N: 3}}); err == nil {
 		t.Error("invalid spec did not error")
 	}
 }
@@ -203,7 +206,7 @@ func TestRunBatchFailsFast(t *testing.T) {
 			return nil, nil
 		},
 	}
-	_, err := r.RunBatch(specs)
+	_, err := r.RunBatch(context.Background(), specs)
 	if err == nil {
 		t.Fatal("batch with a failing replication returned nil error")
 	}
@@ -243,7 +246,7 @@ func TestRunBatchKeepsLowestIndexError(t *testing.T) {
 			return nil, nil
 		},
 	}
-	_, err := r.RunBatch(specs)
+	_, err := r.RunBatch(context.Background(), specs)
 	if err == nil || !strings.Contains(err.Error(), "replication 0") {
 		t.Errorf("reported %v, want the replication-0 error", err)
 	}
@@ -261,11 +264,11 @@ func TestRunnerDeterminism(t *testing.T) {
 		Seeds:    2,
 	}
 	r := Runner{}
-	a, err := r.Run(sp)
+	a, err := r.Run(context.Background(), sp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.Run(sp)
+	b, err := r.Run(context.Background(), sp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,5 +276,167 @@ func TestRunnerDeterminism(t *testing.T) {
 	bj, _ := MarshalSummaries([]*Summary{b})
 	if !bytes.Equal(aj, bj) {
 		t.Errorf("same spec diverged across runs:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+// Cancelling the context mid-batch must drain the remaining jobs
+// unsimulated and report the context's error.
+func TestRunBatchCancellation(t *testing.T) {
+	const seeds = 500
+	specs := []*Spec{{
+		Name:     "cancel",
+		Topology: TopologySpec{Kind: TopoConnected, N: 2},
+		Duration: Duration(time.Second),
+		Seeds:    seeds,
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	var simulated atomic.Int64
+	r := Runner{
+		Parallelism: 4,
+		runRep: func(sp *Spec, rep int) (*replication, error) {
+			if simulated.Add(1) == 3 {
+				cancel() // cancel from inside the batch, mid-flight
+			}
+			time.Sleep(100 * time.Microsecond)
+			return nil, nil
+		},
+	}
+	defer r.Close()
+	_, err := r.RunBatch(ctx, specs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := simulated.Load(); n > seeds/10 {
+		t.Errorf("%d of %d replications simulated after cancel — no drain", n, seeds)
+	}
+}
+
+// A batch that fully completes before anyone observes the cancellation
+// reports its results; a batch started on an already-cancelled context
+// reports the context error.
+func TestRunBatchPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := Runner{Parallelism: 2, runRep: func(sp *Spec, rep int) (*replication, error) {
+		t.Error("replication simulated under a cancelled context")
+		return nil, nil
+	}}
+	defer r.Close()
+	_, err := r.Run(ctx, &Spec{
+		Name:     "precancel",
+		Topology: TopologySpec{Kind: TopoConnected, N: 2},
+		Duration: Duration(time.Second),
+		Seeds:    4,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// A simulation error recorded before the cancellation beats ctx.Err():
+// the deterministic lowest-index error stays the reported one.
+func TestRunBatchSimulationErrorBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := Runner{Parallelism: 1, runRep: func(sp *Spec, rep int) (*replication, error) {
+		if rep == 0 {
+			cancel()
+			return nil, errors.New("boom")
+		}
+		return nil, nil
+	}}
+	defer r.Close()
+	_, err := r.Run(ctx, &Spec{
+		Name:     "errwins",
+		Topology: TopologySpec{Kind: TopoConnected, N: 2},
+		Duration: Duration(time.Second),
+		Seeds:    8,
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want the simulation error", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Errorf("simulation error %v reported as cancellation", err)
+	}
+}
+
+// Close is idempotent, safe from many goroutines, and safe concurrently
+// with in-flight batches: running batches finish (their summaries land),
+// later Run calls fail with ErrClosed, and every Close returns only
+// after teardown.
+func TestCloseConcurrentWithInFlightBatches(t *testing.T) {
+	r := &Runner{Parallelism: 4}
+	sp := func(name string) *Spec {
+		return &Spec{
+			Name:     name,
+			Topology: TopologySpec{Kind: TopoConnected, N: 3},
+			Duration: Duration(500 * time.Millisecond),
+			Seeds:    6,
+		}
+	}
+	const batches = 4
+	errs := make(chan error, batches)
+	for i := 0; i < batches; i++ {
+		i := i
+		go func() {
+			sum, err := r.Run(context.Background(), sp(fmt.Sprintf("b%d", i)))
+			if err == nil && sum.Successes == 0 {
+				err = errors.New("completed batch made no progress")
+			}
+			errs <- err
+		}()
+	}
+	// Let some batches get in flight, then close from several goroutines
+	// at once.
+	time.Sleep(2 * time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); r.Close() }()
+	}
+	wg.Wait()
+	for i := 0; i < batches; i++ {
+		// Every batch either ran to completion (started before Close) or
+		// was refused outright — never a partial result or a panic.
+		if err := <-errs; err != nil && !errors.Is(err, ErrClosed) {
+			t.Errorf("batch error: %v", err)
+		}
+	}
+	// After Close the runner stays closed.
+	if _, err := r.Run(context.Background(), sp("late")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Run after Close = %v, want ErrClosed", err)
+	}
+	r.Close() // still idempotent
+}
+
+// A Runner that never ran closes cleanly, and a closed-before-first-use
+// Runner refuses work.
+func TestCloseBeforeFirstUse(t *testing.T) {
+	r := &Runner{}
+	r.Close()
+	r.Close()
+	if _, err := r.Run(context.Background(), &Spec{
+		Name:     "afterclose",
+		Topology: TopologySpec{Kind: TopoConnected, N: 2},
+		Duration: Duration(time.Second),
+	}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Run on closed runner = %v, want ErrClosed", err)
+	}
+}
+
+// Validation failures must wrap ErrInvalidSpec so facade layers can
+// classify them without string matching.
+func TestValidationWrapsErrInvalidSpec(t *testing.T) {
+	r := Runner{}
+	defer r.Close()
+	_, err := r.Run(context.Background(), &Spec{Name: "bad", Topology: TopologySpec{Kind: "torus", N: 3}})
+	if !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("runner validation error %v does not wrap ErrInvalidSpec", err)
+	}
+	if _, err := Decode([]byte(`{"topology":{"kind":"connected","n":0}}`)); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("decode validation error %v does not wrap ErrInvalidSpec", err)
+	}
+	sp := &Spec{Topology: TopologySpec{Kind: TopoConnected, N: 2}, Duration: -1}
+	if err := sp.Validate(); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("Validate error %v does not wrap ErrInvalidSpec", err)
 	}
 }

@@ -14,14 +14,26 @@ package scenario
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"time"
 
 	"repro/internal/scheme"
 	"repro/internal/sim"
+	"repro/internal/topo"
 	"repro/internal/traffic"
 )
+
+// paperRadii is the geometry every validation bound in this package is
+// phrased against — the same radii the builders realise, so a radii
+// change moves the bounds (and the rim projection) with it.
+var paperRadii = topo.PaperRadii()
+
+// ErrInvalidSpec is wrapped by every spec/suite validation failure, so
+// callers (the wlan facade in particular) can distinguish "the input is
+// wrong" from "the simulation failed" with errors.Is.
+var ErrInvalidSpec = errors.New("invalid spec")
 
 // Duration is a simulated time span that marshals as a Go duration
 // string ("250ms", "90s"). Plain JSON numbers are accepted as seconds.
@@ -206,7 +218,7 @@ const (
 // The returned suite has all defaults applied.
 func Decode(data []byte) (*Suite, error) {
 	if len(data) > maxSpecBytes {
-		return nil, fmt.Errorf("scenario: file is %d bytes, limit %d", len(data), maxSpecBytes)
+		return nil, fmt.Errorf("scenario: %w: file is %d bytes, limit %d", ErrInvalidSpec, len(data), maxSpecBytes)
 	}
 	suite := &Suite{}
 	suiteErr := strictUnmarshal(data, suite)
@@ -220,17 +232,26 @@ func Decode(data []byte) (*Suite, error) {
 	// the suite parse error rather than the (misleading) result of
 	// re-parsing the same bytes as a bare Spec.
 	if suiteErr != nil && looksLikeSuite(data) {
-		return nil, fmt.Errorf("scenario: bad suite: %w", suiteErr)
+		return nil, fmt.Errorf("scenario: bad suite: %w", wrapInvalid(suiteErr))
 	}
 	var spec Spec
 	if err := strictUnmarshal(data, &spec); err != nil {
-		return nil, fmt.Errorf("scenario: not a suite ({\"scenarios\": [...]}) or a single scenario object: %w", err)
+		return nil, fmt.Errorf("scenario: not a suite ({\"scenarios\": [...]}) or a single scenario object: %w", wrapInvalid(err))
 	}
 	suite = &Suite{Name: spec.Name, Scenarios: []Spec{spec}}
 	if err := suite.withDefaults(); err != nil {
 		return nil, err
 	}
 	return suite, nil
+}
+
+// wrapInvalid marks err as an ErrInvalidSpec failure without double
+// wrapping.
+func wrapInvalid(err error) error {
+	if err == nil || errors.Is(err, ErrInvalidSpec) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrInvalidSpec, err)
 }
 
 // looksLikeSuite reports whether the input is a JSON object with a
@@ -262,7 +283,18 @@ func strictUnmarshal(data []byte, v any) error {
 }
 
 // withDefaults validates the suite and fills every default in place.
+// Failures wrap ErrInvalidSpec.
 func (su *Suite) withDefaults() error {
+	if err := su.applyDefaults(); err != nil {
+		if errors.Is(err, ErrInvalidSpec) {
+			return err
+		}
+		return fmt.Errorf("%w: %w", ErrInvalidSpec, err)
+	}
+	return nil
+}
+
+func (su *Suite) applyDefaults() error {
 	if len(su.Scenarios) == 0 {
 		return fmt.Errorf("scenario: suite has no scenarios")
 	}
@@ -289,12 +321,20 @@ func (su *Suite) withDefaults() error {
 // Validate checks the spec and fills every default in place. It is
 // idempotent, so already-defaulted specs pass unchanged. Programmatic
 // builders (the sweep expander, CLIs) call this; Decode applies it to
-// every file-sourced spec automatically.
+// every file-sourced spec automatically. Failures wrap ErrInvalidSpec.
 func (sp *Spec) Validate() error { return sp.withDefaults() }
 
 // withDefaults validates the spec and fills defaults in place. It is
-// idempotent, so already-defaulted specs pass unchanged.
+// idempotent, so already-defaulted specs pass unchanged. Failures wrap
+// ErrInvalidSpec.
 func (sp *Spec) withDefaults() error {
+	if err := sp.applyDefaults(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInvalidSpec, err)
+	}
+	return nil
+}
+
+func (sp *Spec) applyDefaults() error {
 	if sp.Scheme == "" {
 		sp.Scheme = SchemeDCF
 	}
@@ -406,8 +446,10 @@ func (ts *TopologySpec) withDefaults() error {
 		if ts.Radius == 0 {
 			ts.Radius = 8
 		}
-		if ts.Radius > 12 {
-			return fmt.Errorf("topology: connected circle radius %v exceeds 12 m (pairs would fall out of sensing range)", ts.Radius)
+		// Opposite points on the circle are a diameter apart, so staying
+		// within half the sensing radius keeps every pair connected.
+		if ts.Radius > paperRadii.Sensing/2 {
+			return fmt.Errorf("topology: connected circle radius %v exceeds %g m (pairs would fall out of sensing range)", ts.Radius, paperRadii.Sensing/2)
 		}
 	case TopoDisc:
 		if ts.Radius == 0 {
@@ -420,8 +462,8 @@ func (ts *TopologySpec) withDefaults() error {
 		if ts.Separation == 0 {
 			ts.Separation = 30
 		}
-		if ts.Separation/2 > 15.999 {
-			return fmt.Errorf("topology: cluster separation %v places stations beyond the 16 m decode radius", ts.Separation)
+		if ts.Separation/2 > paperRadii.Rim() {
+			return fmt.Errorf("topology: cluster separation %v places stations beyond the %g m decode radius", ts.Separation, paperRadii.Transmission)
 		}
 	case TopoCustom:
 		if len(ts.Points) == 0 {
@@ -431,8 +473,8 @@ func (ts *TopologySpec) withDefaults() error {
 			return fmt.Errorf("topology: n=%d contradicts %d points", ts.N, len(ts.Points))
 		}
 		for i, p := range ts.Points {
-			if math.Hypot(p.X, p.Y) > 16 {
-				return fmt.Errorf("topology: point %d at (%v, %v) exceeds the 16 m AP decode radius", i, p.X, p.Y)
+			if math.Hypot(p.X, p.Y) > paperRadii.Transmission {
+				return fmt.Errorf("topology: point %d at (%v, %v) exceeds the %g m AP decode radius", i, p.X, p.Y, paperRadii.Transmission)
 			}
 		}
 		ts.N = len(ts.Points)
@@ -450,8 +492,8 @@ func (ts *TopologySpec) withDefaults() error {
 		// TwoClusters spreads members along Y by 0.1·(i/2), so the far
 		// corner of a large cluster can leave the AP decode radius even
 		// when Separation/2 is inside it.
-		if far := math.Hypot(ts.Separation/2, 0.1*float64((ts.N-1)/2)); far > 15.999 {
-			return fmt.Errorf("topology: %d clustered stations spread to %.2f m from the AP, beyond the 16 m decode radius", ts.N, far)
+		if far := math.Hypot(ts.Separation/2, 0.1*float64((ts.N-1)/2)); far > paperRadii.Rim() {
+			return fmt.Errorf("topology: %d clustered stations spread to %.2f m from the AP, beyond the %g m decode radius", ts.N, far, paperRadii.Transmission)
 		}
 	}
 	return nil
@@ -460,6 +502,10 @@ func (ts *TopologySpec) withDefaults() error {
 // stationCount returns the resolved station count (valid after
 // withDefaults).
 func (ts *TopologySpec) stationCount() int { return ts.N }
+
+// EngineSpec converts the declarative form to the engine-facing
+// traffic.Spec (unvalidated; call its Validate before simulating).
+func (t TrafficSpec) EngineSpec() (traffic.Spec, error) { return t.toTraffic() }
 
 // toTraffic converts the JSON form to the engine-facing traffic.Spec.
 func (t *TrafficSpec) toTraffic() (traffic.Spec, error) {

@@ -91,6 +91,14 @@ type Simulator struct {
 	// here so repeated Run calls stay allocation-free.
 	attackerIdx []int
 
+	// idleRun counts idle slots since the last busy period. It lives on
+	// the simulator — not as a Run local — so a run advanced in
+	// increments (Run(t1); Run(t2)) observes exactly the idle runs of a
+	// single Run(t2) call even when an increment boundary lands mid
+	// idle run; incremental stepping is what lets callers poll
+	// cancellation between chunks.
+	idleRun int64
+
 	// unsat is true when any station has a finite-load source; the
 	// saturated hot loop skips every arrival check when false.
 	unsat bool
@@ -307,7 +315,6 @@ func (s *Simulator) init(cfg Config) {
 // has elapsed and returns the results.
 func (s *Simulator) Run(duration sim.Duration) *Result {
 	end := sim.Time(duration)
-	idleRun := int64(0)
 	for s.now.Before(end) {
 		if s.unsat {
 			s.admitArrivals()
@@ -345,14 +352,14 @@ func (s *Simulator) Run(duration sim.Duration) *Result {
 				}
 			}
 			s.res.IdleSlots += int64(jump)
-			idleRun += int64(jump)
+			s.idleRun += int64(jump)
 			s.now = s.now.Add(sim.Duration(jump) * s.cfg.PHY.Slot)
 			s.tracker.advance(jump)
 		case attackers == 1:
 			winner := s.attackerIdx[0]
 			st := &s.stations[winner]
-			s.observe(idleRun)
-			idleRun = 0
+			s.observe(s.idleRun)
+			s.idleRun = 0
 			s.now = s.now.Add(s.cfg.PHY.Ts())
 			s.res.Successes++
 			payload := int64(s.cfg.PHY.Payload)
@@ -367,8 +374,8 @@ func (s *Simulator) Run(duration sim.Duration) *Result {
 			s.redraw(winner)
 			s.resume(s.attackerIdx)
 		default:
-			s.observe(idleRun)
-			idleRun = 0
+			s.observe(s.idleRun)
+			s.idleRun = 0
 			s.now = s.now.Add(s.cfg.PHY.Tc())
 			s.res.Collisions++
 			// Each station must be drawn exactly once per busy period:

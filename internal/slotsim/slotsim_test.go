@@ -2,6 +2,7 @@ package slotsim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/traffic"
 )
 
 func pPolicies(n int, p float64) []mac.Policy {
@@ -216,5 +218,53 @@ func TestDeterminism(t *testing.T) {
 	a, b := run(42), run(42)
 	if a.Throughput != b.Throughput || a.Successes != b.Successes {
 		t.Error("same seed diverged")
+	}
+}
+
+// A run advanced in increments must be bit-identical to one advanced in
+// a single call — the property that lets callers (the wlan facade) poll
+// cancellation between chunks. IdleSense exercises the idle-run
+// observer whose counter must survive a chunk boundary landing mid
+// idle run; the Poisson case exercises arrival admission across
+// boundaries.
+func TestRunIncrementalMatchesOneShot(t *testing.T) {
+	build := func() []Config {
+		n := 10
+		idle := make([]mac.Policy, n)
+		for i := range idle {
+			idle[i] = mac.NewIdleSense(mac.IdleSenseConfig{})
+		}
+		poisson := make([]traffic.Spec, n)
+		for i := range poisson {
+			poisson[i] = traffic.Spec{Kind: traffic.Poisson, Rate: 150}
+		}
+		return []Config{
+			{Policies: idle, Seed: 5},
+			{Policies: pPolicies(n, 0.05), Seed: 5, Arrivals: poisson},
+		}
+	}
+	const total = 2 * sim.Second
+	for ci := range build() {
+		one, err := New(build()[ci])
+		if err != nil {
+			t.Fatal(err)
+		}
+		whole := one.Run(total)
+
+		chunked, err := New(build()[ci])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got *Result
+		// Deliberately ragged chunk ends, none aligned with slots or
+		// controller windows.
+		for at := sim.Duration(0); at < total; at += 177 * sim.Millisecond {
+			got = chunked.Run(at)
+		}
+		got = chunked.Run(total)
+
+		if !reflect.DeepEqual(whole, got) {
+			t.Errorf("config %d: incremental run diverged from one-shot:\n%+v\nvs\n%+v", ci, whole, got)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -40,7 +41,7 @@ func TestSmokeSweepGolden(t *testing.T) {
 				t.Fatal(err)
 			}
 			var got bytes.Buffer
-			st, err := (&Runner{}).Stream(g, &got)
+			st, err := (&Runner{}).Stream(context.Background(), g, &got)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -14,6 +14,7 @@ package sweep
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -23,6 +24,21 @@ import (
 
 	"repro/internal/scenario"
 )
+
+// ErrInvalidGrid is wrapped by every grid decode/expansion validation
+// failure (per-point scenario failures additionally wrap
+// scenario.ErrInvalidSpec), so facade layers can classify input errors
+// with errors.Is instead of string matching.
+var ErrInvalidGrid = errors.New("invalid sweep grid")
+
+// wrapInvalidGrid marks err as an ErrInvalidGrid failure without double
+// wrapping.
+func wrapInvalidGrid(err error) error {
+	if err == nil || errors.Is(err, ErrInvalidGrid) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrInvalidGrid, err)
+}
 
 // Grid is the on-disk sweep format: a base scenario plus axes whose
 // cross-product defines the points. The base need not validate on its
@@ -303,19 +319,20 @@ type Point struct {
 }
 
 // Decode parses and validates a sweep grid file. Unknown fields are
-// rejected; the expansion itself is validated by Expand.
+// rejected; the expansion itself is validated by Expand. Failures wrap
+// ErrInvalidGrid.
 func Decode(data []byte) (*Grid, error) {
 	if len(data) > maxGridBytes {
-		return nil, fmt.Errorf("sweep: file is %d bytes, limit %d", len(data), maxGridBytes)
+		return nil, wrapInvalidGrid(fmt.Errorf("sweep: file is %d bytes, limit %d", len(data), maxGridBytes))
 	}
 	g := &Grid{}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(g); err != nil {
-		return nil, fmt.Errorf("sweep: bad grid: %w", err)
+		return nil, wrapInvalidGrid(fmt.Errorf("sweep: bad grid: %w", err))
 	}
 	if dec.More() {
-		return nil, fmt.Errorf("sweep: trailing data after the grid object")
+		return nil, wrapInvalidGrid(fmt.Errorf("sweep: trailing data after the grid object"))
 	}
 	return g, nil
 }
@@ -324,8 +341,17 @@ func Decode(data []byte) (*Grid, error) {
 // last axis varies fastest) and validates every point. The returned
 // specs have all scenario defaults applied, so two grids that describe
 // the same physics expand to identical specs — and identical cache
-// keys — regardless of which defaults they spell out.
+// keys — regardless of which defaults they spell out. Validation
+// failures wrap ErrInvalidGrid.
 func Expand(g *Grid) ([]*Point, error) {
+	pts, err := expand(g)
+	if err != nil {
+		return nil, wrapInvalidGrid(err)
+	}
+	return pts, nil
+}
+
+func expand(g *Grid) ([]*Point, error) {
 	if len(g.Axes) > MaxAxes {
 		return nil, fmt.Errorf("sweep: %d axes exceed the limit %d", len(g.Axes), MaxAxes)
 	}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -97,23 +98,41 @@ type Row struct {
 // Runner executes sweep grids.
 type Runner struct {
 	// Parallelism bounds concurrent replications (0 = GOMAXPROCS).
+	// Ignored when Scenarios supplies an external pool.
 	Parallelism int
 	// Cache, when non-nil, is consulted before and written after every
 	// point.
 	Cache *Cache
 	// Shard restricts execution to one partition (zero = all points).
 	Shard Shard
+	// Scenarios, when non-nil, is the scenario runner (persistent
+	// worker pool) every point fans out through — the hook that lets a
+	// long-lived facade (wlan.Lab) share one pool across many sweeps.
+	// Nil runs each sweep on a private pool that is closed when the
+	// sweep ends. The Runner never closes an external pool.
+	Scenarios *scenario.Runner
 }
 
 // Run executes the grid and returns the shard's results in point
 // order, plus the run statistics.
-func (r *Runner) Run(g *Grid) ([]*PointResult, Stats, error) {
+func (r *Runner) Run(ctx context.Context, g *Grid) ([]*PointResult, Stats, error) {
 	var out []*PointResult
-	st, err := r.run(g, func(pr *PointResult) error {
+	st, err := r.run(ctx, g, func(pr *PointResult) error {
 		out = append(out, pr)
 		return nil
 	}, nil)
 	return out, st, err
+}
+
+// Each executes the grid and invokes emit once per owned point, in
+// point order. A non-nil emit error aborts the sweep (remaining points
+// drain unsimulated) and is returned. Cancelling ctx aborts at
+// replication granularity and returns ctx.Err(); because emission is
+// strictly in point order, the contiguous prefix of completed points is
+// still emitted, while completed points buffered behind an unfinished
+// one are discarded with the rest.
+func (r *Runner) Each(ctx context.Context, g *Grid, emit func(*PointResult) error) (Stats, error) {
+	return r.run(ctx, g, emit, nil)
 }
 
 // Stream executes the grid and writes one JSONL row per owned point,
@@ -121,9 +140,9 @@ func (r *Runner) Run(g *Grid) ([]*PointResult, Stats, error) {
 // boundaries — each time a contiguous run of completed points is
 // emitted — so an interrupted run leaves whole rows behind without
 // paying one small write syscall per point.
-func (r *Runner) Stream(g *Grid, w io.Writer) (Stats, error) {
+func (r *Runner) Stream(ctx context.Context, g *Grid, w io.Writer) (Stats, error) {
 	bw := bufio.NewWriter(w)
-	st, err := r.run(g, func(pr *PointResult) error {
+	st, err := r.run(ctx, g, func(pr *PointResult) error {
 		return writeRow(bw, pr)
 	}, bw.Flush)
 	if err != nil {
@@ -167,8 +186,15 @@ func writeRow(w io.Writer, pr *PointResult) error {
 // after each drained prefix — the cache-commit boundary — so streamed
 // output survives interruption in whole rows without a write syscall
 // per point.
-func (r *Runner) run(g *Grid, emit func(*PointResult) error, flush func() error) (Stats, error) {
+func (r *Runner) run(ctx context.Context, g *Grid, emit func(*PointResult) error, flush func() error) (Stats, error) {
 	var st Stats
+	// Observe cancellation up front so an already-cancelled context
+	// reports ctx.Err() whatever the cache temperature: without this, a
+	// fully cached grid would succeed (the cache pass never simulates,
+	// so the pool never sees ctx) while the same cold grid would fail.
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
 	if err := r.Shard.validate(); err != nil {
 		return st, err
 	}
@@ -251,13 +277,17 @@ func (r *Runner) run(g *Grid, emit func(*PointResult) error, flush func() error)
 	}
 
 	if len(missSpecs) > 0 {
-		sr := scenario.Runner{Parallelism: r.Parallelism}
-		defer sr.Close()
+		sr := r.Scenarios
+		if sr == nil {
+			private := &scenario.Runner{Parallelism: r.Parallelism}
+			defer private.Close()
+			sr = private
+		}
 		// Cache-put, emit and flush failures abort the batch through the
 		// callback's error: the pool drains the remaining points
 		// unsimulated instead of burning CPU on results nobody will
 		// read.
-		runErr := sr.RunBatchFunc(missSpecs, func(k int, sum *scenario.Summary) error {
+		runErr := sr.RunBatchFunc(ctx, missSpecs, func(k int, sum *scenario.Summary) error {
 			i := missIdx[k]
 			if r.Cache != nil {
 				if err := r.Cache.Put(owned[i].Key, &owned[i].Spec, sum); err != nil {

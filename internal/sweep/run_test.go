@@ -2,6 +2,8 @@ package sweep
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"io"
 	"path/filepath"
 	"strings"
@@ -44,7 +46,7 @@ func TestShardMergeByteIdenticalAndCacheResume(t *testing.T) {
 	}
 	var full bytes.Buffer
 	r := &Runner{Cache: fullCache}
-	st, err := r.Stream(g, &full)
+	st, err := r.Stream(context.Background(), g, &full)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,12 +61,12 @@ func TestShardMergeByteIdenticalAndCacheResume(t *testing.T) {
 	}
 	var s0, s1 bytes.Buffer
 	r0 := &Runner{Cache: shardCache, Shard: Shard{0, 2}}
-	st0, err := r0.Stream(g, &s0)
+	st0, err := r0.Stream(context.Background(), g, &s0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	r1 := &Runner{Cache: shardCache, Shard: Shard{1, 2}}
-	st1, err := r1.Stream(g, &s1)
+	st1, err := r1.Stream(context.Background(), g, &s1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func TestShardMergeByteIdenticalAndCacheResume(t *testing.T) {
 	// Immediate re-run against the warm cache: zero simulations, same
 	// bytes.
 	var rerun bytes.Buffer
-	st2, err := (&Runner{Cache: fullCache}).Stream(g, &rerun)
+	st2, err := (&Runner{Cache: fullCache}).Stream(context.Background(), g, &rerun)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +103,7 @@ func TestShardMergeByteIdenticalAndCacheResume(t *testing.T) {
 	// Resume: a third cache warmed by shard 0 only re-simulates shard
 	// 1's points.
 	var resume bytes.Buffer
-	st3, err := (&Runner{Cache: shardCache}).Stream(g, &resume)
+	st3, err := (&Runner{Cache: shardCache}).Stream(context.Background(), g, &resume)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +124,7 @@ func TestRunWithoutCache(t *testing.T) {
 		},
 		Axes: []Axis{{Field: FieldNodes, Values: Ints(2, 3)}},
 	}
-	results, st, err := (&Runner{}).Run(g)
+	results, st, err := (&Runner{}).Run(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,5 +205,36 @@ func TestStatsString(t *testing.T) {
 	s := Stats{Total: 10, Owned: 5, Simulated: 2, Cached: 3}.String()
 	if !strings.Contains(s, "2 simulated") || !strings.Contains(s, "3 cached") || !strings.Contains(s, "5/10") {
 		t.Errorf("stats string %q", s)
+	}
+}
+
+// A cancelled context reports ctx.Err() whatever the cache temperature:
+// the warm-cache path (which never touches the worker pool) must agree
+// with the cold path.
+func TestRunCancelledContextConsistentAcrossCache(t *testing.T) {
+	g := &Grid{
+		Name: "cancel-cache",
+		Base: scenario.Spec{
+			Topology: scenario.TopologySpec{Kind: scenario.TopoConnected},
+			Duration: scenario.Duration(100e6),
+			Seeds:    1,
+		},
+		Axes: []Axis{{Field: FieldNodes, Values: Ints(2, 3)}},
+	}
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmup := &Runner{Cache: cache}
+	if _, _, err := warmup.Run(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := (&Runner{Cache: cache}).Run(ctx, g); !errors.Is(err, context.Canceled) {
+		t.Errorf("warm cache under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := (&Runner{}).Run(ctx, g); !errors.Is(err, context.Canceled) {
+		t.Errorf("cold run under cancelled ctx: err = %v, want context.Canceled", err)
 	}
 }

@@ -40,6 +40,32 @@ type Radii struct {
 // PaperRadii returns the radii used throughout the paper's evaluation.
 func PaperRadii() Radii { return Radii{Transmission: 16, Sensing: 24} }
 
+// RimInset is how far inside the transmission radius rim-projected
+// stations land. Projection targets Rim() = Transmission − RimInset
+// rather than the transmission radius itself so float rounding in the
+// scale factor can never push a projected station past the decode
+// boundary and break AP connectivity.
+const RimInset = 0.001
+
+// Rim returns the radius stations are projected to when a random draw
+// places them beyond the transmission radius: just inside it, so every
+// projected station keeps AP connectivity (the paper's Fig. 6–7
+// construction). For the paper's radii this is exactly 15.999 m.
+func (r Radii) Rim() float64 { return r.Transmission - RimInset }
+
+// ClampToRim projects, in place, every point farther from the origin
+// (the AP) than the transmission radius onto Rim(). Points inside the
+// radius are untouched, so clamping is idempotent.
+func ClampToRim(pts []Point, r Radii) {
+	rim := r.Rim()
+	for i, p := range pts {
+		if d := p.Distance(Point{}); d > r.Transmission {
+			scale := rim / d
+			pts[i] = Point{X: p.X * scale, Y: p.Y * scale}
+		}
+	}
+}
+
 // Topology is an immutable snapshot of station positions plus the derived
 // sensing/decoding sets. Station indices run 0..N-1; the access point is a
 // separate entity at AP.

@@ -170,3 +170,63 @@ func TestNewCopiesStations(t *testing.T) {
 		t.Error("Topology aliases the caller's slice")
 	}
 }
+
+// The rim-projection radius is derived from the radii, not a second
+// magic constant: changing the decode radius must move the rim with it,
+// and for the paper's radii the derived value must reproduce the
+// historical 15.999 m literal exactly (goldens depend on the projected
+// coordinates bit for bit).
+func TestRimDerivedFromRadii(t *testing.T) {
+	if rim := PaperRadii().Rim(); rim != 15.999 {
+		t.Fatalf("PaperRadii().Rim() = %.17g, want exactly 15.999", rim)
+	}
+	for _, r := range []Radii{PaperRadii(), {Transmission: 10, Sensing: 30}, {Transmission: 100, Sensing: 120}} {
+		rim := r.Rim()
+		if !(rim < r.Transmission) {
+			t.Errorf("rim %v not inside transmission radius %v", rim, r.Transmission)
+		}
+		if got, want := r.Transmission-rim, RimInset; math.Abs(got-want) > 1e-12 {
+			t.Errorf("rim inset = %v, want %v", got, want)
+		}
+	}
+}
+
+// ClampToRim must leave interior points untouched, bring every exterior
+// point to exactly the rim radius (AP-decodable), and be idempotent.
+func TestClampToRim(t *testing.T) {
+	r := PaperRadii()
+	rng := sim.NewRNG(7)
+	pts := UniformDisc(64, 2*r.Transmission, rng)
+	inside := map[int]Point{}
+	for i, p := range pts {
+		if p.Distance(Point{}) <= r.Transmission {
+			inside[i] = p
+		}
+	}
+	ClampToRim(pts, r)
+	for i, p := range pts {
+		d := p.Distance(Point{})
+		if d > r.Transmission {
+			t.Fatalf("point %d at %.6f m still beyond the transmission radius", i, d)
+		}
+		if orig, ok := inside[i]; ok {
+			if p != orig {
+				t.Errorf("interior point %d moved: %v -> %v", i, orig, p)
+			}
+		} else if math.Abs(d-r.Rim()) > 1e-9 {
+			t.Errorf("projected point %d at %.9f m, want the rim %.9f m", i, d, r.Rim())
+		}
+	}
+	// Idempotence: a second clamp is a no-op.
+	again := append([]Point(nil), pts...)
+	ClampToRim(again, r)
+	for i := range pts {
+		if again[i] != pts[i] {
+			t.Errorf("clamp not idempotent at point %d", i)
+		}
+	}
+	// The projected layout must satisfy the AP-connectivity assumption.
+	if err := New(Point{}, pts, r).Validate(); err != nil {
+		t.Errorf("clamped topology invalid: %v", err)
+	}
+}

@@ -1,0 +1,366 @@
+package wlan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/scenario"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+	"repro/internal/slotsim"
+	"repro/internal/sweep"
+)
+
+// Lab is the long-lived entry point of the package: one construction,
+// validation and fan-out path behind three run shapes.
+//
+//   - Run executes one simulation from a Config on either engine.
+//   - RunScenario executes a replicated declarative Scenario and
+//     aggregates mean/CI summaries (RunSuite batches several).
+//   - Sweep expands a parameter Grid and streams one point at a time,
+//     with optional caching and sharding; SweepStream writes the
+//     canonical JSONL rows instead.
+//
+// A Lab owns a persistent simulation worker pool (scenario.Runner):
+// workers start lazily on the first scenario or sweep and are reused —
+// with their warmed simulator arenas — until Close. All methods are
+// safe for concurrent use, accept a context.Context, and return
+// bit-identical results to one-shot calls whatever the parallelism or
+// reuse pattern. The zero Lab is NOT ready; use NewLab.
+type Lab struct {
+	runner *scenario.Runner
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// LabOption configures NewLab.
+type LabOption func(*Lab)
+
+// WithParallelism bounds the Lab's concurrently running replications
+// (0, the default, means GOMAXPROCS). Aggregates are bit-identical for
+// any setting.
+func WithParallelism(n int) LabOption {
+	return func(l *Lab) { l.runner.Parallelism = n }
+}
+
+// NewLab returns a ready Lab. Close it to stop the worker pool.
+func NewLab(opts ...LabOption) *Lab {
+	l := &Lab{runner: &scenario.Runner{}}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Close marks the Lab closed — methods fail with ErrClosed from now on
+// — then stops the worker pool. It is idempotent, safe to call from
+// any goroutine, and safe concurrently with in-flight calls: running
+// batches finish before the pool stops (see scenario.Runner.Close for
+// the underlying contract). It always returns nil; the error result
+// exists so a Lab satisfies io.Closer.
+func (l *Lab) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.runner.Close()
+	return nil
+}
+
+func (l *Lab) guard() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Run executes one simulation described by cfg and returns its Result.
+//
+// The engine comes from cfg.Engine: EngineEvent (default) supports
+// every Config feature; EngineSlot accepts only fully connected
+// topologies without RTSCTS, frame errors, traces, churn or on-off
+// traffic, and its Result carries no kernel event count, no latency
+// histogram and no per-station failure counts (slot-synchronous runs
+// have none of these notions).
+//
+// The run advances in small simulated-time chunks so ctx cancellation
+// takes effect promptly mid-run; chunked stepping is bit-identical to
+// a single uninterrupted run on both engines (pinned by tests).
+func (l *Lab) Run(ctx context.Context, cfg Config) (*Result, error) {
+	if err := l.guard(); err != nil {
+		return nil, err
+	}
+	return runConfig(ctx, cfg)
+}
+
+// runConfig is the single single-run path shared by Lab.Run and the
+// package-level Run shim.
+func runConfig(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	switch cfg.Engine {
+	case EngineEvent:
+		s, err := newEventSim(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return stepRun(ctx, cfg.Duration, func(d time.Duration) *Result {
+			return s.Run(d)
+		})
+	case EngineSlot:
+		return runSlot(ctx, cfg)
+	default:
+		return nil, fmt.Errorf("%w: unknown engine %q (want %s or %s)", ErrInvalidConfig, cfg.Engine, EngineEvent, EngineSlot)
+	}
+}
+
+// stepRun advances a resumable simulation to total in chunks, polling
+// ctx between chunks. Both engines' Run(d) continue from where they
+// stopped and recompute aggregates at return, so the chunking is
+// invisible in the final Result.
+func stepRun[R any](ctx context.Context, total time.Duration, run func(time.Duration) *R) (*R, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapErr(err)
+	}
+	chunk := total / 64
+	if chunk < time.Millisecond {
+		chunk = time.Millisecond
+	}
+	for at := chunk; at < total; at += chunk {
+		run(at)
+		if err := ctx.Err(); err != nil {
+			return nil, wrapErr(err)
+		}
+	}
+	return run(total), nil
+}
+
+// runSlot executes one slot-engine run.
+func runSlot(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("%w: Topology is required", ErrInvalidConfig)
+	}
+	if !cfg.Topology.FullyConnected() {
+		return nil, fmt.Errorf("%w: %s needs a fully connected topology (hidden pairs need %s)", ErrInvalidConfig, EngineSlot, EngineEvent)
+	}
+	switch {
+	case cfg.RTSCTS:
+		return nil, fmt.Errorf("%w: RTSCTS needs %s", ErrInvalidConfig, EngineEvent)
+	case cfg.FrameErrorRate != 0:
+		return nil, fmt.Errorf("%w: FrameErrorRate needs %s", ErrInvalidConfig, EngineEvent)
+	case cfg.Trace != nil:
+		return nil, fmt.Errorf("%w: Trace needs %s", ErrInvalidConfig, EngineEvent)
+	case len(cfg.Churn) > 0:
+		return nil, fmt.Errorf("%w: Churn needs %s", ErrInvalidConfig, EngineEvent)
+	}
+	n := cfg.Topology.N()
+	policies, controller, err := scheme.Build(string(cfg.Scheme), cfg.Weights, n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+	}
+	arrivals, err := cfg.arrivals(n)
+	if err != nil {
+		return nil, err
+	}
+	phy := model.PaperPHY()
+	s, err := slotsim.New(slotsim.Config{
+		PHY:          phy,
+		Policies:     policies,
+		Controller:   controller,
+		UpdatePeriod: sim.Duration(cfg.UpdatePeriod),
+		Seed:         cfg.Seed,
+		Arrivals:     arrivals,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+	}
+	res, err := stepRun(ctx, cfg.Duration, func(d time.Duration) *slotsim.Result {
+		return s.Run(sim.Duration(d))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return slotResult(res, cfg.Weights, int64(phy.Payload)), nil
+}
+
+// slotResult maps a slot-engine result onto the shared Result shape.
+// Fields without a slot-synchronous meaning stay zero: EventsFired,
+// MaxConcurrent, the latency histogram/jitter sums, FrameErrors,
+// ActiveSeries, and per-station Failures (slotsim counts collisions per
+// busy period, not per station). Per-station Successes are exact —
+// every success delivers one fixed payloadBits (the run's actual PHY
+// payload, threaded from runSlot).
+func slotResult(res *slotsim.Result, weights []float64, payloadBits int64) *Result {
+	out := &Result{
+		Duration:         res.Duration,
+		Throughput:       res.Throughput,
+		Successes:        res.Successes,
+		Collisions:       res.Collisions,
+		APIdleSlots:      res.IdleSlotsPerTx,
+		ThroughputSeries: res.ThroughputSeries,
+		ControlSeries:    res.ControlSeries,
+		PacketsArrived:   res.PacketsArrived,
+		PacketsDropped:   res.PacketsDropped,
+	}
+	secs := time.Duration(res.Duration).Seconds()
+	out.Stations = make([]StationStats, len(res.PerStation))
+	for i, bits := range res.PerStation {
+		st := StationStats{
+			BitsDelivered: bits,
+			Successes:     bits / payloadBits,
+			Weight:        1,
+		}
+		if weights != nil {
+			st.Weight = weights[i]
+		}
+		if secs > 0 {
+			st.Throughput = float64(bits) / secs
+		}
+		out.Stations[i] = st
+	}
+	return out
+}
+
+// RunScenario validates and executes one declarative Scenario — all its
+// seeded replications — through the Lab's worker pool and returns the
+// aggregate Summary. The aggregate is bit-identical for any parallelism
+// and for any interleaving with other Lab calls. Cancelling ctx aborts
+// at replication granularity and returns ErrCanceled.
+func (l *Lab) RunScenario(ctx context.Context, sc Scenario) (*Summary, error) {
+	if err := l.guard(); err != nil {
+		return nil, err
+	}
+	sum, err := l.runner.Run(ctx, &sc)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return sum, nil
+}
+
+// RunSuite executes every scenario of a suite, fanning all replications
+// of all scenarios into the worker pool at once, and returns one
+// Summary per scenario in suite order.
+func (l *Lab) RunSuite(ctx context.Context, su *Suite) ([]*Summary, error) {
+	if err := l.guard(); err != nil {
+		return nil, err
+	}
+	sums, err := l.runner.RunSuite(ctx, su)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return sums, nil
+}
+
+// SweepOption configures a Lab.Sweep or Lab.SweepStream call.
+type SweepOption func(*sweepConfig)
+
+type sweepConfig struct {
+	cacheDir string
+	shard    Shard
+	stats    *SweepStats
+}
+
+// WithSweepCache backs the sweep with the content-addressed result
+// cache at dir (created if needed): completed (scenario, engine) points
+// are served without re-simulating, which makes re-runs and resumed
+// runs cheap and lets concurrent shards share one directory.
+func WithSweepCache(dir string) SweepOption {
+	return func(sc *sweepConfig) { sc.cacheDir = dir }
+}
+
+// WithShard restricts the sweep to the deterministic partition
+// index/count of the expanded grid. Shards are disjoint and complete:
+// their merged outputs are byte-identical to an unsharded run.
+func WithShard(index, count int) SweepOption {
+	return func(sc *sweepConfig) { sc.shard = Shard{Index: index, Count: count} }
+}
+
+// WithSweepStats records the sweep's satisfaction counts (total, owned,
+// simulated, cached) into st when the sweep finishes.
+func WithSweepStats(st *SweepStats) SweepOption {
+	return func(sc *sweepConfig) { sc.stats = st }
+}
+
+// errSweepStop aborts a sweep whose consumer stopped iterating early.
+var errSweepStop = errors.New("wlan: sweep iteration stopped")
+
+// Sweep expands the grid's cross-product, executes every owned point
+// through the Lab's worker pool (serving cache hits without
+// simulating), and yields one (point, nil) pair per point in expansion
+// order. On failure — validation, simulation, cancellation — the
+// sequence ends with a single (nil, err) pair carrying the matching
+// sentinel. Breaking out of the loop aborts the sweep; remaining
+// points drain unsimulated:
+//
+//	for pt, err := range lab.Sweep(ctx, grid, wlan.WithSweepCache(dir)) {
+//		if err != nil {
+//			return err
+//		}
+//		fmt.Println(pt.Name, pt.Summary.ConvergedMbps.Mean)
+//	}
+func (l *Lab) Sweep(ctx context.Context, g *Grid, opts ...SweepOption) iter.Seq2[*SweepPoint, error] {
+	return func(yield func(*SweepPoint, error) bool) {
+		r, sc, err := l.sweepRunner(opts)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		stopped := false
+		st, err := r.Each(ctx, g, func(pr *SweepPoint) error {
+			if !yield(pr, nil) {
+				stopped = true
+				return errSweepStop
+			}
+			return nil
+		})
+		if sc.stats != nil {
+			*sc.stats = st
+		}
+		if err != nil && !stopped {
+			yield(nil, wrapErr(err))
+		}
+	}
+}
+
+// SweepStream executes the sweep like Sweep but writes the canonical
+// JSONL row encoding — one deterministic row per point, in point order
+// — to w. This is the encoding the wlansim CLI emits, shard merges
+// recombine byte-identically, and the committed golden files pin.
+func (l *Lab) SweepStream(ctx context.Context, g *Grid, w io.Writer, opts ...SweepOption) (SweepStats, error) {
+	r, sc, err := l.sweepRunner(opts)
+	if err != nil {
+		return SweepStats{}, err
+	}
+	st, err := r.Stream(ctx, g, w)
+	if sc.stats != nil {
+		*sc.stats = st
+	}
+	return st, wrapErr(err)
+}
+
+// sweepRunner assembles the sweep executor bound to the Lab's pool.
+func (l *Lab) sweepRunner(opts []SweepOption) (*sweep.Runner, *sweepConfig, error) {
+	if err := l.guard(); err != nil {
+		return nil, nil, err
+	}
+	sc := &sweepConfig{}
+	for _, o := range opts {
+		o(sc)
+	}
+	r := &sweep.Runner{Shard: sc.shard, Scenarios: l.runner}
+	if sc.cacheDir != "" {
+		c, err := sweep.OpenCache(sc.cacheDir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+		}
+		r.Cache = c
+	}
+	return r, sc, nil
+}

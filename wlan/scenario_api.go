@@ -1,0 +1,95 @@
+package wlan
+
+import (
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// The declarative layer, promoted from internal/scenario: a Scenario is
+// a JSON-encodable description of a replicated simulation campaign —
+// topology family, per-station traffic, scheme, churn, replication
+// count — executed by Lab.RunScenario with mean/CI aggregation. A Suite
+// bundles several; DecodeScenarios parses the on-disk form.
+
+// Scenario is one declarative workload spec. The zero value of every
+// field defaults sensibly (30 s, one replication, seed 1, DCF,
+// saturated traffic); Lab.RunScenario validates and fills defaults.
+type Scenario = scenario.Spec
+
+// Suite is a named list of scenarios — the on-disk file format.
+type Suite = scenario.Suite
+
+// Summary is the aggregate outcome of a scenario: per-replication
+// metrics reduced to mean/CI statistics plus exact sums.
+type Summary = scenario.Summary
+
+// AggStat is a mean/stddev/CI95 triple inside a Summary.
+type AggStat = scenario.AggStat
+
+// TopologySpec selects a topology family declaratively (see the Topo*
+// kinds). The geometric Topology type realises one concrete layout;
+// TopologySpec describes a family a Scenario redraws per replication.
+type TopologySpec = scenario.TopologySpec
+
+// Topology family names accepted by TopologySpec.Kind.
+const (
+	TopoConnected = scenario.TopoConnected // n stations on a circle, every pair in sensing range
+	TopoDisc      = scenario.TopoDisc      // uniform draw in a disc; radius > 12 m yields hidden pairs
+	TopoClusters  = scenario.TopoClusters  // two clusters either side of the AP, maximally hidden
+	TopoCustom    = scenario.TopoCustom    // explicit station positions
+)
+
+// ScenarioPoint is a station position inside a TopologySpec (kind
+// TopoCustom). Distinct from Point, the geometric type.
+type ScenarioPoint = scenario.Point
+
+// TrafficSpec describes one (or all) stations' packet arrival process:
+// "saturated" (default), "poisson" or "onoff". Use the constructors
+// below for the common cases.
+type TrafficSpec = scenario.TrafficSpec
+
+// SaturatedTraffic returns the paper's regime: an infinite backlog.
+func SaturatedTraffic() TrafficSpec { return TrafficSpec{Model: "saturated"} }
+
+// PoissonTraffic returns memoryless arrivals at rate packets/second.
+func PoissonTraffic(rate float64) TrafficSpec {
+	return TrafficSpec{Model: "poisson", Rate: rate}
+}
+
+// OnOffTraffic returns an interrupted Poisson process: exponential On
+// phases (mean on) with arrivals at rate, alternating with silent
+// exponential Off phases (mean off).
+func OnOffTraffic(rate float64, on, off time.Duration) TrafficSpec {
+	return TrafficSpec{Model: "onoff", Rate: rate, OnMean: Duration(on), OffMean: Duration(off)}
+}
+
+// ChurnStep pins the active-station count from a given instant: the
+// first Active stations are active, the rest depart (finishing any
+// exchange in flight first).
+type ChurnStep = scenario.ChurnStep
+
+// Duration is the simulated time span used by the declarative types;
+// it marshals as a Go duration string ("250ms", "90s") and converts
+// directly from time.Duration: wlan.Duration(90 * time.Second).
+type Duration = scenario.Duration
+
+// DecodeScenarios parses and validates a scenario file: either a Suite
+// ({"scenarios": [...]}) or a single bare Scenario object. Unknown
+// fields are rejected and every dimension is bounds-checked; failures
+// wrap ErrInvalidConfig.
+func DecodeScenarios(data []byte) (*Suite, error) {
+	su, err := scenario.Decode(data)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return su, nil
+}
+
+// MarshalSummaries renders summaries as the canonical indented JSON the
+// golden files and the wlansim -summary-json flag share. The byte
+// output is deterministic: struct-field order is fixed and float
+// formatting is Go's shortest round-trip encoding.
+func MarshalSummaries(sums []*Summary) ([]byte, error) {
+	return scenario.MarshalSummaries(sums)
+}

@@ -1,23 +1,54 @@
-// Package wlan is the public API of the repository: saturated CSMA/CA
-// WLAN simulation with hidden-node support and the stochastic-
-// approximation MAC tuning algorithms of Krishnan & Chaporkar,
-// "Stochastic Approximation Algorithm for Optimal Throughput Performance
-// of Wireless LANs" (arXiv:1006.2048) — wTOP-CSMA and TORA-CSMA —
+// Package wlan is the public API of the repository: CSMA/CA WLAN
+// simulation with hidden-node support and the stochastic-approximation
+// MAC tuning algorithms of Krishnan & Chaporkar, "Stochastic
+// Approximation Algorithm for Optimal Throughput Performance of
+// Wireless LANs" (arXiv:1006.2048) — wTOP-CSMA and TORA-CSMA —
 // alongside the standard 802.11 DCF and IdleSense baselines.
 //
-// A minimal run:
+// # The Lab
 //
-//	res, err := wlan.Run(wlan.Config{
+// A Lab is the long-lived entry point. It owns a persistent simulation
+// worker pool (lazily started, reused across calls) and exposes the
+// three shapes every workload in the repository reduces to:
+//
+//	lab := wlan.NewLab()
+//	defer lab.Close()
+//
+//	// One simulation.
+//	res, err := lab.Run(ctx, wlan.Config{
 //		Topology: wlan.Connected(20),
 //		Scheme:   wlan.WTOPCSMA,
 //		Duration: 60 * time.Second,
 //	})
 //
+//	// A replicated declarative scenario, aggregated with CIs.
+//	sum, err := lab.RunScenario(ctx, wlan.Scenario{
+//		Topology: wlan.TopologySpec{Kind: wlan.TopoDisc, N: 30, Radius: 16},
+//		Scheme:   string(wlan.TORACSMA),
+//		Seeds:    10,
+//	})
+//
+//	// A parameter grid, streamed point by point (cached, shardable).
+//	for pt, err := range lab.Sweep(ctx, grid) { ... }
+//
+// Every entry point takes a context.Context: cancellation aborts at
+// replication granularity (single runs advance in small simulated-time
+// chunks, so they cancel promptly too) and surfaces as ErrCanceled.
+// Validation failures surface as ErrInvalidConfig; use errors.Is.
+// All results are deterministic: equal seeds and configs give
+// bit-identical outcomes whatever the parallelism, and a Lab reused
+// across calls returns exactly what one-shot calls would.
+//
+// wlan.Run, wlan.New and the other package-level helpers remain as
+// thin shims over the same construction/validation path for callers
+// that do not need a context or a shared pool.
+//
 // See examples/ for weighted fairness, hidden-node comparisons and
-// dynamic node churn.
+// dynamic node churn, and examples/sweeps/ for grid files.
 package wlan
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -28,6 +59,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 // Scheme selects a channel-access scheme.
@@ -47,6 +79,22 @@ const (
 	TORACSMA Scheme = "TORA-CSMA"
 )
 
+// Engine selects a simulation engine.
+type Engine string
+
+const (
+	// EngineEvent is the continuous-time event-driven engine: carrier
+	// sense, hidden nodes, RTS/CTS, frame errors, traces, churn. The
+	// default.
+	EngineEvent Engine = "eventsim"
+	// EngineSlot is the slot-synchronous Bianchi-style engine: fully
+	// connected topologies only, much faster on large saturated
+	// parameter studies. It cross-validates EngineEvent in the test
+	// suite. Results carry no event counts, latency histograms or
+	// per-station failure counts (see Lab.Run).
+	EngineSlot Engine = "slotsim"
+)
+
 // Topology re-exports the geometric model: station positions plus
 // unit-disc sensing (24 m) and decoding (16 m) ranges.
 type Topology = topo.Topology
@@ -63,17 +111,13 @@ func Connected(n int) *Topology {
 // HiddenDisc returns a topology with stations placed uniformly at random
 // in a disc of the given radius (metres) around the AP. Radii above 12 m
 // can produce station pairs beyond the 24 m sensing range — hidden nodes.
-// Stations drawn beyond the 16 m decode radius are projected onto the rim
-// so every station keeps AP connectivity. The seed fixes the draw.
+// Stations drawn beyond the decode radius are projected onto its rim
+// (topo.Radii.Rim, derived from the radii) so every station keeps AP
+// connectivity. The seed fixes the draw.
 func HiddenDisc(n int, radius float64, seed int64) *Topology {
 	rng := sim.NewRNG(seed)
 	pts := topo.UniformDisc(n, radius, rng)
-	for i, p := range pts {
-		if d := p.Distance(topo.Point{}); d > 16 {
-			scale := 15.999 / d
-			pts[i] = topo.Point{X: p.X * scale, Y: p.Y * scale}
-		}
-	}
+	topo.ClampToRim(pts, topo.PaperRadii())
 	return topo.New(topo.Point{}, pts, topo.PaperRadii())
 }
 
@@ -88,11 +132,25 @@ func Custom(stations []Point) *Topology {
 type Config struct {
 	// Topology fixes station placement. Required.
 	Topology *Topology
+	// Engine selects the simulation engine (default EngineEvent).
+	// EngineSlot accepts only fully connected topologies and rejects
+	// the continuous-time-only features: RTSCTS, FrameErrorRate, Trace,
+	// Churn and on-off traffic.
+	Engine Engine
 	// Scheme selects the channel-access algorithm (default DCF).
 	Scheme Scheme
 	// Weights assigns per-station fairness weights (wTOP-CSMA only;
 	// nil means unit weights). Length must match the station count.
 	Weights []float64
+	// Traffic holds zero (all saturated — the paper's regime), one
+	// (applied to every station) or N per-station arrival processes.
+	// Build entries with SaturatedTraffic, PoissonTraffic and
+	// OnOffTraffic.
+	Traffic []TrafficSpec
+	// Churn schedules active-station counts over simulated time: at
+	// each step's instant the first Active stations are active, the
+	// rest depart (finishing any exchange in flight). EngineEvent only.
+	Churn []ChurnStep
 	// Duration is the simulated time (default 30 s).
 	Duration time.Duration
 	// Warmup is excluded by Result.ConvergedThroughputMbps (default
@@ -112,6 +170,62 @@ type Config struct {
 	// Trace, when non-nil, receives every completed frame. Construct
 	// one with NewTraceWriter and analyse captures with AnalyzeTrace.
 	Trace Tracer
+}
+
+// withDefaults fills the config's defaults in place (the single
+// defaulting rule shared by every construction path).
+func (cfg Config) withDefaults() Config {
+	if cfg.Engine == "" {
+		cfg.Engine = EngineEvent
+	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = DCF
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = cfg.Duration / 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// arrivals expands cfg.Traffic to one engine spec per station, or nil
+// when every station is saturated (the engines' fast path).
+func (cfg *Config) arrivals(n int) ([]traffic.Spec, error) {
+	switch len(cfg.Traffic) {
+	case 0:
+		return nil, nil
+	case 1, n:
+	default:
+		return nil, fmt.Errorf("%w: Traffic must list 0, 1 or %d entries, got %d", ErrInvalidConfig, n, len(cfg.Traffic))
+	}
+	out := make([]traffic.Spec, n)
+	unsat := false
+	for i := range out {
+		src := cfg.Traffic[0]
+		if len(cfg.Traffic) == n {
+			src = cfg.Traffic[i]
+		}
+		ts, err := src.EngineSpec()
+		if err != nil {
+			return nil, fmt.Errorf("%w: Traffic[%d]: %w", ErrInvalidConfig, min(i, len(cfg.Traffic)-1), err)
+		}
+		if err := ts.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: Traffic[%d]: %w", ErrInvalidConfig, min(i, len(cfg.Traffic)-1), err)
+		}
+		out[i] = ts
+		if ts.Unsaturated() {
+			unsat = true
+		}
+	}
+	if !unsat {
+		return nil, nil
+	}
+	return out, nil
 }
 
 // Tracer is the frame-capture hook; obtain one from NewTraceWriter.
@@ -142,28 +256,32 @@ func ShortTermFairness(r io.Reader, window int) (indices []float64, mean float64
 // Result re-exports the simulator's run summary.
 type Result = eventsim.Result
 
-// Simulation is a configured run that supports mid-run node churn.
+// StationStats re-exports the per-station slice element of Result.
+type StationStats = eventsim.StationStats
+
+// Simulation is a configured event-engine run that supports mid-run
+// node churn. Most callers want Lab.Run (context-aware, both engines)
+// or the Run shim; New remains for incremental stepping.
 type Simulation struct {
-	inner  *eventsim.Simulator
-	warmup sim.Duration
+	inner    *eventsim.Simulator
+	warmup   sim.Duration
+	duration sim.Duration
 }
 
-// New assembles a simulation without running it.
+// New assembles an EngineEvent simulation without running it. Configs
+// naming EngineSlot are rejected: the slotted engine runs whole
+// durations through Lab.Run, not incrementally through a Simulation.
 func New(cfg Config) (*Simulation, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Engine != EngineEvent {
+		return nil, fmt.Errorf("%w: New assembles %s simulations; run %s configs through Lab.Run", ErrInvalidConfig, EngineEvent, cfg.Engine)
+	}
+	return newEventSim(cfg)
+}
+
+func newEventSim(cfg Config) (*Simulation, error) {
 	if cfg.Topology == nil {
-		return nil, fmt.Errorf("wlan: Topology is required")
-	}
-	if cfg.Scheme == "" {
-		cfg.Scheme = DCF
-	}
-	if cfg.Duration == 0 {
-		cfg.Duration = 30 * time.Second
-	}
-	if cfg.Warmup == 0 {
-		cfg.Warmup = cfg.Duration / 2
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
+		return nil, fmt.Errorf("%w: Topology is required", ErrInvalidConfig)
 	}
 	n := cfg.Topology.N()
 	// The scheme→policy mapping is scheme.Build — the single such
@@ -171,7 +289,11 @@ func New(cfg Config) (*Simulation, error) {
 	// the experiment harness.
 	policies, controller, err := scheme.Build(string(cfg.Scheme), cfg.Weights, n)
 	if err != nil {
-		return nil, fmt.Errorf("wlan: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+	}
+	arrivals, err := cfg.arrivals(n)
+	if err != nil {
+		return nil, err
 	}
 
 	inner, err := eventsim.New(eventsim.Config{
@@ -184,11 +306,18 @@ func New(cfg Config) (*Simulation, error) {
 		RTSCTS:         cfg.RTSCTS,
 		FrameErrorRate: cfg.FrameErrorRate,
 		Trace:          cfg.Trace,
+		Arrivals:       arrivals,
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
-	return &Simulation{inner: inner, warmup: sim.Duration(cfg.Warmup)}, nil
+	s := &Simulation{inner: inner, warmup: sim.Duration(cfg.Warmup), duration: sim.Duration(cfg.Duration)}
+	for _, step := range cfg.Churn {
+		if err := s.inner.SetActiveAt(sim.Time(step.At), step.Active); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+		}
+	}
+	return s, nil
 }
 
 // SetActiveAt schedules the active-station count to become exactly the
@@ -207,13 +336,10 @@ func (s *Simulation) Run(d time.Duration) *Result {
 // Warmup returns the configured warmup used by converged averages.
 func (s *Simulation) Warmup() time.Duration { return time.Duration(s.warmup) }
 
-// Run assembles and executes one simulation in a single call.
+// Run assembles and executes one simulation in a single call: a shim
+// over the same path as Lab.Run, without cancellation.
 func Run(cfg Config) (*Result, error) {
-	s, err := New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return s.Run(cfg.Duration), nil
+	return runConfig(context.Background(), cfg)
 }
 
 // OptimalAttemptProbability returns the analytic optimum p* of the
