@@ -1,0 +1,234 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// report builds a minimal Report on a fixed environment.
+func report(benchmarks map[string]Measurement) *Report {
+	return &Report{
+		GoVersion:  "go1.24.0",
+		GOOS:       "linux",
+		GOARCH:     "amd64",
+		NumCPU:     4,
+		BenchTime:  "20x",
+		Benchmarks: benchmarks,
+	}
+}
+
+// TestDiff is the table over the comparison semantics: what gates,
+// what stays informational, and what the output must mention. A
+// baseline artificially better than the fresh run (the "artificially
+// regressed baseline" of the CI gate) must produce regressions > 0 —
+// that is the property the strict CI job relies on.
+func TestDiff(t *testing.T) {
+	cases := []struct {
+		name        string
+		base, fresh map[string]Measurement
+		tolerance   float64
+		regressions int
+		wantOutput  []string
+	}{
+		{
+			name:        "clean pass within tolerance",
+			base:        map[string]Measurement{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 1000}},
+			fresh:       map[string]Measurement{"BenchmarkA": {NsPerOp: 110, AllocsPerOp: 10, BytesPerOp: 1000}},
+			tolerance:   0.2,
+			regressions: 0,
+			wantOutput:  []string{"no regressions beyond tolerance"},
+		},
+		{
+			name:        "ns/op regression beyond tolerance",
+			base:        map[string]Measurement{"BenchmarkA": {NsPerOp: 100}},
+			fresh:       map[string]Measurement{"BenchmarkA": {NsPerOp: 150}},
+			tolerance:   0.2,
+			regressions: 1,
+			wantOutput:  []string{"::warning::BenchmarkA regressed 50.0%"},
+		},
+		{
+			name: "zero baseline ns/op is flagged, not divided by",
+			base: map[string]Measurement{"BenchmarkA": {NsPerOp: 0}},
+			// Old code produced +Inf% here and, with a NaN, no warning
+			// at all; now it is an explicit notice and never a panic or
+			// a bogus regression.
+			fresh:       map[string]Measurement{"BenchmarkA": {NsPerOp: 150}},
+			tolerance:   0.2,
+			regressions: 0,
+			wantOutput:  []string{"::notice::BenchmarkA has baseline ns/op 0"},
+		},
+		{
+			name:        "benchmark missing from fresh run regresses",
+			base:        map[string]Measurement{"BenchmarkGone": {NsPerOp: 100}},
+			fresh:       map[string]Measurement{},
+			tolerance:   0.2,
+			regressions: 1,
+			wantOutput:  []string{"::warning::benchmark BenchmarkGone missing from fresh run"},
+		},
+		{
+			name:        "new benchmark is reported, never a regression",
+			base:        map[string]Measurement{},
+			fresh:       map[string]Measurement{"BenchmarkNew": {NsPerOp: 100}},
+			tolerance:   0.2,
+			regressions: 0,
+			wantOutput:  []string{"BenchmarkNew", "(new)"},
+		},
+		{
+			name:        "allocs/op regression beyond tolerance",
+			base:        map[string]Measurement{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 100}},
+			fresh:       map[string]Measurement{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 200}},
+			tolerance:   0.2,
+			regressions: 1,
+			wantOutput:  []string{"::warning::BenchmarkA regressed 100.0% (100 → 200 allocs/op"},
+		},
+		{
+			name:        "zero-alloc baseline growing allocations regresses",
+			base:        map[string]Measurement{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 0}},
+			fresh:       map[string]Measurement{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 50}},
+			tolerance:   0.2,
+			regressions: 1,
+			wantOutput:  []string{"::warning::BenchmarkA now allocates: 0 → 50 allocs/op"},
+		},
+		{
+			name:        "tiny absolute memory jitter stays under the noise floor",
+			base:        map[string]Measurement{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 1, BytesPerOp: 3}},
+			fresh:       map[string]Measurement{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 2, BytesPerOp: 4}},
+			tolerance:   0.2,
+			regressions: 0,
+			wantOutput:  []string{"no regressions beyond tolerance"},
+		},
+		{
+			name:        "B/op regression beyond tolerance",
+			base:        map[string]Measurement{"BenchmarkA": {NsPerOp: 100, BytesPerOp: 1000}},
+			fresh:       map[string]Measurement{"BenchmarkA": {NsPerOp: 100, BytesPerOp: 2000}},
+			tolerance:   0.2,
+			regressions: 1,
+			wantOutput:  []string{"::warning::BenchmarkA regressed 100.0% (1000 → 2000 B/op"},
+		},
+		{
+			name: "higher-is-better metric dropping regresses",
+			base: map[string]Measurement{"BenchmarkA": {NsPerOp: 100,
+				Metrics: map[string]float64{"Mbps": 24.0}}},
+			fresh: map[string]Measurement{"BenchmarkA": {NsPerOp: 100,
+				Metrics: map[string]float64{"Mbps": 12.0}}},
+			tolerance:   0.2,
+			regressions: 1,
+			wantOutput:  []string{"::warning::BenchmarkA Mbps dropped 50.0% (24 → 12"},
+		},
+		{
+			name: "higher-is-better metric rising is fine",
+			base: map[string]Measurement{"BenchmarkA": {NsPerOp: 100,
+				Metrics: map[string]float64{"Mbps": 12.0}}},
+			fresh: map[string]Measurement{"BenchmarkA": {NsPerOp: 100,
+				Metrics: map[string]float64{"Mbps": 24.0}}},
+			tolerance:   0.2,
+			regressions: 0,
+			wantOutput:  []string{"no regressions beyond tolerance"},
+		},
+		{
+			name: "unlisted custom metric never gates",
+			base: map[string]Measurement{"BenchmarkA": {NsPerOp: 100,
+				Metrics: map[string]float64{"events/run": 40000}}},
+			fresh: map[string]Measurement{"BenchmarkA": {NsPerOp: 100,
+				Metrics: map[string]float64{"events/run": 10}}},
+			tolerance:   0.2,
+			regressions: 0,
+			wantOutput:  []string{"no regressions beyond tolerance"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			got, flagged := diff(&sb, report(tc.base), report(tc.fresh), tc.tolerance)
+			if got != tc.regressions {
+				t.Errorf("diff returned %d regressions, want %d\noutput:\n%s", got, tc.regressions, sb.String())
+			}
+			if got > 0 && len(flagged) == 0 {
+				t.Errorf("diff found regressions but flagged no benchmark names")
+			}
+			for _, want := range tc.wantOutput {
+				if !strings.Contains(sb.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, sb.String())
+				}
+			}
+		})
+	}
+}
+
+// TestEnvMismatch pins the fingerprint comparison that downgrades a
+// cross-environment diff to informational.
+func TestEnvMismatch(t *testing.T) {
+	same := report(nil)
+	if got := envMismatch(same, report(nil)); got != "" {
+		t.Errorf("matching environments reported mismatch %q", got)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+	}{
+		{"go version", func(r *Report) { r.GoVersion = "go1.23.0" }},
+		{"goos", func(r *Report) { r.GOOS = "darwin" }},
+		{"goarch", func(r *Report) { r.GOARCH = "arm64" }},
+		{"num_cpu", func(r *Report) { r.NumCPU = 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			other := report(nil)
+			tc.mutate(other)
+			got := envMismatch(same, other)
+			if got == "" {
+				t.Fatalf("%s mismatch not detected", tc.name)
+			}
+			if !strings.Contains(got, same.Fingerprint()) || !strings.Contains(got, other.Fingerprint()) {
+				t.Errorf("mismatch description %q missing a fingerprint", got)
+			}
+		})
+	}
+}
+
+// Repeated measurements (from -count > 1) must fold to the fastest
+// run, whole-measurement: the memory columns travel with the winning
+// time sample.
+func TestRecordKeepsFastest(t *testing.T) {
+	rep := report(map[string]Measurement{})
+	record(rep, "BenchmarkA", Measurement{NsPerOp: 50, AllocsPerOp: 7})
+	record(rep, "BenchmarkA", Measurement{NsPerOp: 36, AllocsPerOp: 5})
+	record(rep, "BenchmarkA", Measurement{NsPerOp: 47, AllocsPerOp: 6})
+	got := rep.Benchmarks["BenchmarkA"]
+	if got.NsPerOp != 36 || got.AllocsPerOp != 5 {
+		t.Fatalf("folded measurement = %+v, want the 36 ns/op sample", got)
+	}
+}
+
+// retryRegexp drives the targeted re-measurement of flagged
+// benchmarks: sub-benchmarks fold to their top-level family, names are
+// anchored and deduplicated.
+func TestRetryRegexp(t *testing.T) {
+	got := retryRegexp([]string{
+		"BenchmarkAblationEngines/eventsim",
+		"BenchmarkAblationEngines/slotsim",
+		"BenchmarkEventCancel",
+	})
+	want := "^(BenchmarkAblationEngines|BenchmarkEventCancel)$"
+	if got != want {
+		t.Fatalf("retryRegexp = %q, want %q", got, want)
+	}
+	if got := retryRegexp(nil); got != "" {
+		t.Fatalf("retryRegexp(nil) = %q, want empty", got)
+	}
+}
+
+// The parser guarantee diff relies on: fresh measurements never carry
+// a zero ns/op (such lines are dropped at parse time).
+func TestParseLineRejectsZeroNs(t *testing.T) {
+	if name, _, ok := parseLine("BenchmarkBad-8   20   0 ns/op"); ok {
+		t.Fatalf("parseLine accepted zero ns/op as %q", name)
+	}
+	name, m, ok := parseLine("BenchmarkGood-8   20   153.5 ns/op   24 B/op   1 allocs/op   24.33 Mbps")
+	if !ok || name != "BenchmarkGood" {
+		t.Fatalf("parseLine failed: ok=%v name=%q", ok, name)
+	}
+	if m.NsPerOp != 153.5 || m.BytesPerOp != 24 || m.AllocsPerOp != 1 || m.Metrics["Mbps"] != 24.33 {
+		t.Fatalf("parseLine decoded %+v", m)
+	}
+}

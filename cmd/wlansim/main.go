@@ -12,6 +12,7 @@
 //	wlansim -sweep examples/sweeps/smoke.json -cache ~/.cache/wlansim-sweep -sweep-out out.jsonl
 //	wlansim -sweep grid.json -shard 0/4 -cache /shared/cache -sweep-out shard0.jsonl
 //	wlansim -merge merged.jsonl shard0.jsonl shard1.jsonl shard2.jsonl shard3.jsonl
+//	wlansim -sweep grid.json -sweep-out out.jsonl -metrics-addr :9090 -progress
 //	wlansim -scheme wTOP-CSMA -nodes 40 -duration 60s
 //	wlansim -scheme 802.11 -nodes 20 -disc 16 -seed 7 -series
 //	wlansim -scheme wTOP-CSMA -nodes 10 -weights 1,1,1,2,2,2,3,3,3,3
@@ -24,10 +25,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -43,10 +47,14 @@ func main() {
 	)
 	var (
 		sweepPath = flag.String("sweep", "", "run a declarative sweep grid file (base scenario × axes) and stream one JSONL row per point")
-		sweepOut  = flag.String("sweep-out", "", "with -sweep: write the JSONL rows to this file (default stdout)")
+		sweepOut  = flag.String("sweep-out", "", "with -sweep: write the JSONL rows to this file (default stdout), plus a <file>.meta.json run stamp")
 		shardSpec = flag.String("shard", "", "with -sweep: run only shard i/N of the expanded grid (deterministic partition; merged shard outputs are byte-identical to an unsharded run)")
 		cacheDir  = flag.String("cache", "", "with -sweep: content-addressed result cache directory; completed (spec, engine) points are served without re-simulating")
 		mergeOut  = flag.String("merge", "", "merge shard JSONL files (the remaining arguments) into this file, restoring unsharded byte-identical order")
+	)
+	var (
+		metricsAddr = flag.String("metrics-addr", "", "with -scenario/-sweep: serve live Prometheus metrics on this address at /metrics (e.g. :9090)")
+		progress    = flag.Bool("progress", false, "with -scenario/-sweep: print a once-per-second progress line to stderr")
 	)
 	var (
 		schemeName = flag.String("scheme", "802.11", "channel access scheme: 802.11, IdleSense, wTOP-CSMA, TORA-CSMA")
@@ -64,6 +72,7 @@ func main() {
 		fast       = flag.Bool("fast", false, "engine-speed mode: print wall-clock time and events/sec alongside the summary")
 	)
 	flag.Parse()
+	validateFlagModes(*scenarioPath != "", *sweepPath != "", *mergeOut != "")
 
 	// SIGINT/SIGTERM cancel the context: replications in flight finish,
 	// everything else drains, and the process exits with a clean error.
@@ -75,8 +84,26 @@ func main() {
 		return
 	}
 
-	lab := wlan.NewLab(wlan.WithParallelism(*parallel))
+	// Observability is opt-in: a metric set exists only when an
+	// endpoint or progress ticker will read it, and attaching one
+	// never changes results or output bytes.
+	var met *wlan.Metrics
+	if *metricsAddr != "" || *progress {
+		met = wlan.NewMetrics()
+	}
+	labOpts := []wlan.LabOption{wlan.WithParallelism(*parallel)}
+	if met != nil {
+		labOpts = append(labOpts, wlan.WithMetrics(met))
+	}
+	lab := wlan.NewLab(labOpts...)
 	defer lab.Close()
+
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, met)
+	}
+	if *progress {
+		defer startProgress(met)()
+	}
 
 	if *sweepPath != "" {
 		runSweep(ctx, lab, *sweepPath, *sweepOut, *shardSpec, *cacheDir)
@@ -171,6 +198,117 @@ func main() {
 	}
 }
 
+// validateFlagModes rejects flag combinations that one mode would
+// silently ignore, before anything runs: -scenario, -sweep and -merge
+// are mutually exclusive; single-run-only flags (-series, -per-node,
+// -trace, -fast, -weights) make no sense alongside any of them; and
+// the observability flags need a Lab-routed mode (-scenario/-sweep) to
+// have anything to measure. Violations exit 2 with a usage message,
+// matching the experiments CLI's up-front validation.
+func validateFlagModes(scenarioMode, sweepMode, mergeMode bool) {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	modes := 0
+	for _, on := range []bool{scenarioMode, sweepMode, mergeMode} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		usageExit("at most one of -scenario, -sweep and -merge may be given")
+	}
+	mode := ""
+	switch {
+	case scenarioMode:
+		mode = "-scenario"
+	case sweepMode:
+		mode = "-sweep"
+	case mergeMode:
+		mode = "-merge"
+	}
+	if mode != "" {
+		var bad []string
+		for _, name := range []string{"series", "per-node", "trace", "fast", "weights"} {
+			if set[name] {
+				bad = append(bad, "-"+name)
+			}
+		}
+		if len(bad) > 0 {
+			usageExit(fmt.Sprintf("single-run-only flag(s) %s would be ignored with %s",
+				strings.Join(bad, ", "), mode))
+		}
+	}
+	if (set["metrics-addr"] || set["progress"]) && !scenarioMode && !sweepMode {
+		usageExit("-metrics-addr and -progress require -scenario or -sweep")
+	}
+}
+
+// usageExit reports a flag-validation failure and exits 2, the
+// CLI-misuse exit code.
+func usageExit(msg string) {
+	fmt.Fprintf(os.Stderr, "wlansim: %s\nrun 'wlansim -h' for usage\n", msg)
+	os.Exit(2)
+}
+
+// serveMetrics starts the /metrics endpoint. Listening failures are
+// fatal up front (a typo'd address should not silently run an
+// unobservable campaign); serve errors after that only surface on
+// stderr, never abort the simulation.
+func serveMetrics(addr string, met *wlan.Metrics) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalf("metrics: %v", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", met.Handler())
+	fmt.Fprintf(os.Stderr, "wlansim: serving metrics on http://%s/metrics\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "wlansim: metrics server: %v\n", err)
+		}
+	}()
+}
+
+// startProgress prints a once-per-second progress line to stderr and
+// returns the stop function (which prints one final line, so short
+// runs still report).
+func startProgress(met *wlan.Metrics) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintln(os.Stderr, progressLine(met.Snapshot()))
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		fmt.Fprintln(os.Stderr, progressLine(met.Snapshot()))
+	}
+}
+
+// progressLine renders one human-oriented status line: sweep point
+// totals when a sweep is running, the replication fan-out otherwise.
+func progressLine(s wlan.MetricsSnapshot) string {
+	if s.PointsOwned > 0 {
+		return fmt.Sprintf("progress: %d/%d points (%d simulated, %d cached), %d repl in flight, util %.0f%%, %.3g events/s",
+			s.PointsSimulated+s.PointsCached, s.PointsOwned, s.PointsSimulated, s.PointsCached,
+			s.ReplicationsInFlight, 100*s.Utilization, s.EventsPerSecond)
+	}
+	return fmt.Sprintf("progress: %d replications done, %d in flight, util %.0f%%, %.3g events/s",
+		s.Replications, s.ReplicationsInFlight, 100*s.Utilization, s.EventsPerSecond)
+}
+
 // runSweep loads a sweep grid, executes (its shard of) the expanded
 // cross-product through the Lab's cached sweep path and streams one
 // JSONL row per point. The final stats line goes to stdout — CI greps
@@ -186,8 +324,9 @@ func runSweep(ctx context.Context, lab *wlan.Lab, path, outPath, shardSpec, cach
 		fatalf("%v", err)
 	}
 	var opts []wlan.SweepOption
+	var sh wlan.Shard
 	if shardSpec != "" {
-		sh, err := wlan.ParseShard(shardSpec)
+		sh, err = wlan.ParseShard(shardSpec)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -221,6 +360,14 @@ func runSweep(ctx context.Context, lab *wlan.Lab, path, outPath, shardSpec, cach
 	}
 	if out != os.Stdout {
 		if err := out.Close(); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	// Stamp the run in a sidecar meta file, next to — never inside —
+	// the JSONL rows, which must stay byte-identical across runs.
+	if outPath != "" {
+		meta := wlan.NewSweepMeta(g, sh, st, start, time.Since(start))
+		if err := meta.WriteFile(wlan.SweepMetaPath(outPath)); err != nil {
 			fatalf("%v", err)
 		}
 	}

@@ -38,6 +38,12 @@ type Runner struct {
 	// (0 = GOMAXPROCS). Fixed once the first run starts the pool.
 	Parallelism int
 
+	// Metrics, when non-nil, receives live instrumentation (completed
+	// replications, in-flight gauge, kernel events). Set it before the
+	// first run; observation never affects simulation state, so
+	// results are bit-identical with or without it.
+	Metrics *Metrics
+
 	// runRep overrides replication execution in tests (nil = the real
 	// simulation).
 	runRep func(sp *Spec, rep int) (*replication, error)
@@ -103,6 +109,9 @@ func (r *Runner) ensurePool() *workerPool {
 	r.poolOnce.Do(func() {
 		p := &workerPool{jobs: make(chan func(*arena))}
 		workers := r.parallelism()
+		if r.Metrics != nil {
+			r.Metrics.Workers.Set(int64(workers))
+		}
 		p.wg.Add(workers)
 		for w := 0; w < workers; w++ {
 			go func() {
@@ -278,7 +287,13 @@ func (r *Runner) RunBatchFunc(ctx context.Context, specs []*Spec, done func(i in
 			}
 		}
 		j := jobs[ji]
+		r.Metrics.begin()
 		rep, err := r.replicate(specs[j.si], j.rep, ar)
+		var events uint64
+		if err == nil && rep != nil && rep.res != nil {
+			events = rep.res.EventsFired
+		}
+		r.Metrics.end(events, err == nil)
 		mu.Lock()
 		if err != nil {
 			failed.Store(true)

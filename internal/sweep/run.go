@@ -59,16 +59,17 @@ func (sh Shard) owns(i int) bool {
 	return i%sh.Count == sh.Index
 }
 
-// Stats counts how a run's points were satisfied.
+// Stats counts how a run's points were satisfied. The JSON tags are
+// the sidecar meta encoding (see Meta).
 type Stats struct {
 	// Total is the full expanded grid size.
-	Total int
+	Total int `json:"total"`
 	// Owned is how many points fell in this run's shard.
-	Owned int
+	Owned int `json:"owned"`
 	// Simulated points ran through the scenario runner this run.
-	Simulated int
+	Simulated int `json:"simulated"`
 	// Cached points were served from the cache without simulating.
-	Cached int
+	Cached int `json:"cached"`
 }
 
 // String renders the one-line report the CLI prints (CI greps it to
@@ -111,6 +112,9 @@ type Runner struct {
 	// Nil runs each sweep on a private pool that is closed when the
 	// sweep ends. The Runner never closes an external pool.
 	Scenarios *scenario.Runner
+	// Metrics, when non-nil, receives live point-satisfaction counters.
+	// Observation never affects execution or output bytes.
+	Metrics *Metrics
 }
 
 // Run executes the grid and returns the shard's results in point
@@ -187,6 +191,19 @@ func writeRow(w io.Writer, pr *PointResult) error {
 // output survives interruption in whole rows without a write syscall
 // per point.
 func (r *Runner) run(ctx context.Context, g *Grid, emit func(*PointResult) error, flush func() error) (Stats, error) {
+	st, err := r.runPoints(ctx, g, emit, flush)
+	// Owned points a failed run never satisfied — the erroring point
+	// plus everything drained behind it — are counted as failed, so the
+	// metric totals always obey Owned = Simulated + Cached + Failed.
+	if err != nil && r.Metrics != nil {
+		if unsat := st.Owned - st.Simulated - st.Cached; unsat > 0 {
+			r.Metrics.PointsFailed.Add(uint64(unsat))
+		}
+	}
+	return st, err
+}
+
+func (r *Runner) runPoints(ctx context.Context, g *Grid, emit func(*PointResult) error, flush func() error) (Stats, error) {
 	var st Stats
 	// Observe cancellation up front so an already-cancelled context
 	// reports ctx.Err() whatever the cache temperature: without this, a
@@ -210,6 +227,9 @@ func (r *Runner) run(ctx context.Context, g *Grid, emit func(*PointResult) error
 		}
 	}
 	st.Owned = len(owned)
+	if r.Metrics != nil {
+		r.Metrics.PointsOwned.Add(uint64(st.Owned))
+	}
 
 	// Emission cursor: rows leave strictly in point order; summaries
 	// landing out of order wait in sums until the prefix completes.
@@ -227,6 +247,9 @@ func (r *Runner) run(ctx context.Context, g *Grid, emit func(*PointResult) error
 			sums[cursor] = nil // release the buffered summary
 			if err := emit(&PointResult{Point: pt, Summary: sum}); err != nil {
 				return err
+			}
+			if r.Metrics != nil {
+				r.Metrics.RowsEmitted.Inc()
 			}
 			cursor++
 			dirty = true
@@ -257,6 +280,9 @@ func (r *Runner) run(ctx context.Context, g *Grid, emit func(*PointResult) error
 				sum.Name = pt.Name
 				sums[i] = sum
 				st.Cached++
+				if r.Metrics != nil {
+					r.Metrics.PointsCached.Inc()
+				}
 				// While no miss precedes it, the hit is part of the
 				// contiguous prefix: emit immediately so a warm re-run
 				// streams with O(1) buffered summaries (flushed once
@@ -296,6 +322,9 @@ func (r *Runner) run(ctx context.Context, g *Grid, emit func(*PointResult) error
 			}
 			sums[i] = sum
 			st.Simulated++
+			if r.Metrics != nil {
+				r.Metrics.PointsSimulated.Inc()
+			}
 			if err := advance(); err != nil {
 				return err
 			}

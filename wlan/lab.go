@@ -34,7 +34,8 @@ import (
 // bit-identical results to one-shot calls whatever the parallelism or
 // reuse pattern. The zero Lab is NOT ready; use NewLab.
 type Lab struct {
-	runner *scenario.Runner
+	runner  *scenario.Runner
+	metrics *Metrics
 
 	mu     sync.Mutex
 	closed bool
@@ -355,6 +356,9 @@ func (l *Lab) sweepRunner(opts []SweepOption) (*sweep.Runner, *sweepConfig, erro
 		o(sc)
 	}
 	r := &sweep.Runner{Shard: sc.shard, Scenarios: l.runner}
+	if l.metrics != nil {
+		r.Metrics = l.metrics.sweep
+	}
 	if sc.cacheDir != "" {
 		c, err := sweep.OpenCache(sc.cacheDir)
 		if err != nil {

@@ -83,6 +83,22 @@ func Bools(vs ...bool) []json.RawMessage { return sweep.Bools(vs...) }
 // Durations builds axis values from Go durations.
 func Durations(vs ...time.Duration) []json.RawMessage { return sweep.Durations(vs...) }
 
+// SweepMeta is the sidecar stamp of one sweep run: engine version,
+// grid config hash, shard, satisfaction stats and wall time. It lives
+// in a separate <out>.meta.json file, never inside the JSONL rows —
+// the rows stay a pure function of (grid, engine version) so shard
+// merges and golden diffs remain byte-identical.
+type SweepMeta = sweep.Meta
+
+// NewSweepMeta assembles the stamp for a finished sweep run.
+func NewSweepMeta(g *Grid, sh Shard, st SweepStats, started time.Time, wall time.Duration) *SweepMeta {
+	return sweep.NewMeta(g, sh, st, started, wall)
+}
+
+// SweepMetaPath is the canonical sidecar location for a JSONL output
+// file: <outPath>.meta.json.
+func SweepMetaPath(outPath string) string { return sweep.MetaPath(outPath) }
+
 // DecodeSweep parses and validates a sweep grid file; failures wrap
 // ErrInvalidConfig. (Per-point validation happens at expansion, inside
 // Lab.Sweep.)
