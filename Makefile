@@ -22,19 +22,19 @@ api-check:
 # Regenerate the committed benchmark-trajectory point. Run on a quiet
 # machine; the committed file is the baseline CI compares against.
 bench:
-	go run ./cmd/benchreport -out BENCH_PR6.json
+	go run ./cmd/benchreport -out BENCH_PR7.json
 
 # Compare a fresh short-scale run against the committed baseline
 # (informational: prints the table and warnings, never fails).
 bench-compare:
-	go run ./cmd/benchreport -compare BENCH_PR6.json
+	go run ./cmd/benchreport -compare BENCH_PR7.json
 
 # The CI perf gate: fail on >20% regression (ns/op, allocs/op, B/op,
 # or an Mbps drop) against the committed baseline — unless the
 # environment fingerprint differs, which downgrades the comparison to
 # informational (a foreign baseline says nothing about this machine).
 bench-gate:
-	go run ./cmd/benchreport -compare BENCH_PR6.json -strict
+	go run ./cmd/benchreport -compare BENCH_PR7.json -strict
 
 # Fast sanity pass: every benchmark must still compile and run.
 bench-smoke:

@@ -228,6 +228,65 @@ func BenchmarkSlotSimBianchi(b *testing.B) {
 	}
 }
 
+// BenchmarkTopologyBuild measures topology construction across the
+// scale tier. paper512 is the old dense cap with full adjacency
+// materialised; circle100k is the slotted tier's fully connected layout,
+// answered by the bounding-box fast path without ever building
+// neighbour lists; disc100k spreads 100k stations over a 2 km disc and
+// materialises the sparse CSR adjacency the grid index prunes down to
+// O(n·degree).
+func BenchmarkTopologyBuild(b *testing.B) {
+	b.Run("paper512", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rng := sim.NewRNG(int64(i + 1))
+			tp := topo.New(topo.Point{}, topo.UniformDisc(512, 16, rng), topo.PaperRadii())
+			if err := tp.EnsureAdjacency(topo.DefaultAdjacencyBudget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("circle100k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tp := topo.New(topo.Point{}, topo.CircleEdge(100_000, 8), topo.PaperRadii())
+			if !tp.FullyConnected() || tp.HiddenPairCount() != 0 {
+				b.Fatal("circle topology must be fully connected")
+			}
+		}
+	})
+	b.Run("disc100k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rng := sim.NewRNG(int64(i + 1))
+			tp := topo.New(topo.Point{}, topo.UniformDisc(100_000, 2000, rng), topo.PaperRadii())
+			if err := tp.EnsureAdjacency(topo.DefaultAdjacencyBudget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSlotSimScaleTier runs the slotted engine at the 100k-station
+// scale tier: population-scaled fixed windows (W = n keeps the
+// aggregate attempt rate near two per slot), every counter in the
+// tracker's widened ring, and a per-busy-period cost that no longer
+// depends on n. The dominant per-op cost is arena setup — seeding 100k
+// per-station RNGs — which is exactly the scale-tier overhead worth
+// tracking.
+func BenchmarkSlotSimScaleTier(b *testing.B) {
+	const n = 100_000
+	for i := 0; i < b.N; i++ {
+		ps := make([]mac.Policy, n)
+		for j := range ps {
+			ps[j] = mac.NewStandardDCF(n, n)
+		}
+		s, err := slotsim.New(slotsim.Config{Policies: ps, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := s.Run(2 * sim.Second)
+		b.ReportMetric(res.ThroughputMbps(), "Mbps")
+	}
+}
+
 // BenchmarkAblationGains compares Kiefer–Wolfowitz gain schedules on the
 // analytic closed loop: the paper's (1/k, k^-1/3) against a faster-
 // annealing and a slower-annealing alternative.

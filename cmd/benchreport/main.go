@@ -1,7 +1,7 @@
 // Command benchreport runs the repository's benchmark suite at short
 // scale and renders the results as a stable JSON document — the unit of
 // the performance trajectory. Each PR that claims a speedup commits the
-// measured numbers (BENCH_PR4.json was the first point, BENCH_PR6.json
+// measured numbers (BENCH_PR4.json was the first point, BENCH_PR7.json
 // the current one), and CI re-runs the same suite and diffs against the
 // committed baseline across ns/op, allocs/op, B/op and higher-is-better
 // custom metrics like Mbps.
@@ -15,8 +15,8 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchreport -out BENCH_PR6.json
-//	go run ./cmd/benchreport -compare BENCH_PR6.json -tolerance 0.2 -strict
+//	go run ./cmd/benchreport -out BENCH_PR7.json
+//	go run ./cmd/benchreport -compare BENCH_PR7.json -tolerance 0.2 -strict
 package main
 
 import (
@@ -41,7 +41,8 @@ const defaultBench = "BenchmarkEventQueue$|BenchmarkEventQueueArg$|BenchmarkEven
 	"|BenchmarkGeometricDraw|BenchmarkFrameCodec|BenchmarkRNGSeed" +
 	"|BenchmarkEventSimThroughput$|BenchmarkAblationEngines|BenchmarkSlotSimBianchi" +
 	"|BenchmarkSimulatorReuse|BenchmarkScenarioReplications$" +
-	"|BenchmarkSweepSmoke$|BenchmarkSweep120$"
+	"|BenchmarkSweepSmoke$|BenchmarkSweep120$" +
+	"|BenchmarkTopologyBuild|BenchmarkSlotSimScaleTier$"
 
 // Measurement is one benchmark's parsed result.
 type Measurement struct {

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -164,7 +165,7 @@ func main() {
 	}
 
 	fmt.Printf("scheme      %s\n", *schemeName)
-	fmt.Printf("stations    %d (hidden pairs: %d)\n", tp.N(), len(tp.HiddenPairs()))
+	fmt.Printf("stations    %d (hidden pairs: %d)\n", tp.N(), tp.HiddenPairCount())
 	fmt.Printf("duration    %v simulated\n", *duration)
 	fmt.Printf("throughput  %.3f Mbps (converged %.3f Mbps)\n",
 		res.ThroughputMbps(), res.ConvergedThroughput(cfg.Duration/2)/1e6)
@@ -337,12 +338,25 @@ func runSweep(ctx context.Context, lab *wlan.Lab, path, outPath, shardSpec, cach
 	}
 	out := os.Stdout
 	statsOut := os.Stdout
+	var tmp *os.File
 	if outPath != "" {
-		f, err := os.Create(outPath)
+		// A stale sidecar from an earlier run must not survive next to
+		// rows it does not describe: drop it before simulating, so even
+		// an interrupted run leaves no misleading provenance.
+		if err := os.Remove(wlan.SweepMetaPath(outPath)); err != nil && !os.IsNotExist(err) {
+			fatalf("%v", err)
+		}
+		// Stream rows into a temp file beside the target and rename it
+		// into place only once the sweep completes: a failed or killed
+		// run can never leave a truncated JSONL at outPath.
+		tmp, err = os.CreateTemp(filepath.Dir(outPath), filepath.Base(outPath)+".tmp-*")
 		if err != nil {
 			fatalf("%v", err)
 		}
-		out = f
+		if err := tmp.Chmod(0o644); err != nil {
+			fatalf("%v", err)
+		}
+		out = tmp
 	} else {
 		statsOut = os.Stderr
 	}
@@ -353,13 +367,19 @@ func runSweep(ctx context.Context, lab *wlan.Lab, path, outPath, shardSpec, cach
 	start := time.Now()
 	st, err := lab.SweepStream(ctx, g, out, opts...)
 	if err != nil {
-		if out != os.Stdout {
-			out.Close()
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
 		}
 		fatalf("sweep %s: %v", name, err)
 	}
-	if out != os.Stdout {
-		if err := out.Close(); err != nil {
+	if tmp != nil {
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			fatalf("%v", err)
+		}
+		if err := os.Rename(tmp.Name(), outPath); err != nil {
+			os.Remove(tmp.Name())
 			fatalf("%v", err)
 		}
 	}

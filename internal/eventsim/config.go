@@ -89,6 +89,13 @@ func (c Config) withDefaults() (Config, error) {
 	if err := c.Topology.Validate(); err != nil {
 		return c, err
 	}
+	// The event engine fans busy/idle transitions out over explicit
+	// neighbour lists, so it needs the topology's adjacency materialised
+	// — bounded, because the paper's AP-bounded geometry is near-complete
+	// and a huge-n dense layout would otherwise allocate Θ(n²).
+	if err := c.Topology.EnsureAdjacency(topo.DefaultAdjacencyBudget); err != nil {
+		return c, fmt.Errorf("eventsim: %w", err)
+	}
 	if c.PHY == (model.PHY{}) {
 		c.PHY = model.PaperPHY()
 	}

@@ -37,8 +37,11 @@ type Simulator struct {
 
 	stations []*station
 	// sensedBy[i] lists the stations that perform carrier sense on
-	// station i's transmissions.
-	sensedBy [][]int
+	// station i's transmissions. Each entry is a read-only view into the
+	// topology's shared neighbour storage (topo.Topology.SensedBy), so
+	// setup costs O(1) per station instead of an O(n) scan and
+	// allocation.
+	sensedBy [][]int32
 
 	// Air state at the AP.
 	active     []*transmission // data frames currently in the air
@@ -245,7 +248,7 @@ func (s *Simulator) init(cfg Config) {
 		stations = stations[:n]
 	}
 	if cap(sensedBy) < n {
-		sensedBy = make([][]int, n)
+		sensedBy = make([][]int32, n)
 	} else {
 		sensedBy = sensedBy[:n]
 	}

@@ -34,7 +34,7 @@ func TestOptionsValidate(t *testing.T) {
 		{Duration: sim.Second, Seeds: 1 << 30, Nodes: []int{5}},
 		{Duration: sim.Second, Seeds: -3, Nodes: []int{5}},
 		{Duration: sim.Second, Seeds: 1, Nodes: []int{0}},
-		{Duration: sim.Second, Seeds: 1, Nodes: []int{5, 100000}},
+		{Duration: sim.Second, Seeds: 1, Nodes: []int{5, 100001}},
 		{Duration: 48 * 3600 * sim.Second, Warmup: sim.Second, Seeds: 1, Nodes: []int{5}},
 	}
 	for i, o := range bad {

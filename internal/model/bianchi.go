@@ -112,6 +112,84 @@ func (d DCF) Throughput() float64 {
 	return HomogeneousThroughput(d.PHY, d.N, tau)
 }
 
+// FrozenFixedPoint solves the DCF fixed point under true 802.11
+// freeze/resume semantics, where a busy period consumes NO backoff
+// decrement for the waiting stations — counters tick on idle slots
+// only. Bianchi's chain instead spends exactly one counter tick per
+// busy period, a simplification that is invisible for memoryless
+// (p-persistent) policies but diverges measurably for window policies
+// once contention windows grow with the population: a window of W slots
+// then spans many busy periods, and the two clocks drift apart.
+//
+// On the idle-slot clock the frozen process IS Bianchi's chain with
+// every per-attempt gap shortened by one (the attempt slot is busy and
+// consumes no idle slot), so the per-idle-slot attempt probability is
+// the transform
+//
+//	τ_f = τ(c) / (1 − τ(c))
+//
+// of the standard τ(c), coupled with c = 1 − (1−τ_f)^(N−1): stations
+// collide exactly when their independent renewal processes land on the
+// same idle-time. The returned tauIdle is per idle slot, not per
+// Bianchi slot. The O(1/CW) correction from zero redraws (a station
+// drawing 0 re-attacks without an intervening idle slot) is ignored, so
+// the model assumes CWMin ≥ 2.
+func (d DCF) FrozenFixedPoint() (tauIdle, c float64) {
+	if d.N < 1 {
+		return 0, 0
+	}
+	frozen := func(tauB float64) float64 {
+		if tauB >= 0.5 {
+			return 1 // τ_f saturates: no idle slots between attempts
+		}
+		return tauB / (1 - tauB)
+	}
+	if d.N == 1 {
+		return frozen(d.AttemptGivenCollision(0)), 0
+	}
+	collision := func(tauF float64) float64 {
+		return 1 - math.Pow(1-tauF, float64(d.N-1))
+	}
+	// As in FixedPoint, g(τ_B) = τ_B − τ(c(τ_f(τ_B))) is increasing:
+	// τ_B↑ ⇒ τ_f↑ ⇒ c↑ ⇒ τ(c)↓.
+	g := func(tauB float64) float64 {
+		return tauB - d.AttemptGivenCollision(collision(frozen(tauB)))
+	}
+	lo, hi := 1e-9, 1-1e-9
+	for i := 0; i < 200 && hi-lo > 1e-15; i++ {
+		mid := (lo + hi) / 2
+		if g(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	tauIdle = frozen((lo + hi) / 2)
+	return tauIdle, collision(tauIdle)
+}
+
+// FrozenThroughput returns the saturation throughput under freeze/resume
+// semantics. The renewal unit is one idle-time: the busy periods whose
+// attackers landed on that idle slot (at most one, chains aside),
+// followed by the idle slot itself — so the denominator always carries
+// one σ per cycle, unlike the Bernoulli-slot denominator:
+//
+//	S = P1·EP / (σ + P1·Ts + Pc·Tc)
+//
+// with P1 = N·τ_f·(1−τ_f)^(N−1) and Pc = 1 − (1−τ_f)^N − P1.
+func (d DCF) FrozenThroughput() float64 {
+	tauF, _ := d.FrozenFixedPoint()
+	n := float64(d.N)
+	if d.N <= 0 || tauF <= 0 || tauF >= 1 {
+		return 0
+	}
+	p0 := math.Pow(1-tauF, n)
+	p1 := n * tauF * math.Pow(1-tauF, n-1)
+	pc := 1 - p0 - p1
+	denom := float64(d.PHY.Slot) + p1*float64(d.PHY.Ts()) + pc*float64(d.PHY.Tc())
+	return p1 * float64(d.PHY.Payload) / (denom / 1e9)
+}
+
 // HomogeneousThroughput evaluates the renewal throughput expression for N
 // stations all attempting with probability tau per slot — the common
 // yardstick used to convert any fixed-point attempt probability into

@@ -1,0 +1,55 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFrozenFixedPointFixedWindow(t *testing.T) {
+	// M = 0 kills the collision coupling on the Bianchi side
+	// (τ_B = 2/(W+1) regardless of c), so the frozen transform has the
+	// closed answer τ_f = τ_B/(1−τ_B) = 2/(W−1) exactly.
+	for _, w := range []int{8, 64, 1024, 100_000} {
+		d := DCF{PHY: PaperPHY(), Backoff: BackoffParams{CWMin: w, M: 0}, N: 1000}
+		tauF, _ := d.FrozenFixedPoint()
+		want := 2 / float64(w-1)
+		if math.Abs(tauF-want)/want > 1e-9 {
+			t.Errorf("W=%d: frozen τ = %.9f, want 2/(W−1) = %.9f", w, tauF, want)
+		}
+	}
+}
+
+func TestFrozenVsBianchiOrdering(t *testing.T) {
+	// Freezing shortens every per-attempt gap by one idle slot, so the
+	// per-idle-slot attempt rate always exceeds Bianchi's per-slot rate;
+	// with the extra σ charged every cycle the frozen throughput sits
+	// below plain Bianchi in contended regimes.
+	for _, n := range []int{64, 4096, 100_000} {
+		d := DCF{PHY: PaperPHY(), Backoff: BackoffParams{CWMin: n, M: 0}, N: n}
+		tauF, _ := d.FrozenFixedPoint()
+		tauB, _ := d.FixedPoint()
+		if tauF <= tauB {
+			t.Errorf("n=%d: frozen τ %.3e not above Bianchi τ %.3e", n, tauF, tauB)
+		}
+		sF, sB := d.FrozenThroughput(), d.Throughput()
+		if sF <= 0 || sB <= 0 {
+			t.Fatalf("n=%d: non-positive throughput (frozen %.0f, bianchi %.0f)", n, sF, sB)
+		}
+		if sF >= sB {
+			t.Errorf("n=%d: frozen throughput %.0f not below Bianchi %.0f", n, sF, sB)
+		}
+	}
+}
+
+func TestFrozenFixedPointDegenerate(t *testing.T) {
+	if tau, c := (DCF{PHY: PaperPHY(), Backoff: PaperBackoff(), N: 0}).FrozenFixedPoint(); tau != 0 || c != 0 {
+		t.Errorf("N=0: got τ=%v c=%v, want zeros", tau, c)
+	}
+	tau, c := (DCF{PHY: PaperPHY(), Backoff: BackoffParams{CWMin: 16, M: 0}, N: 1}).FrozenFixedPoint()
+	if c != 0 {
+		t.Errorf("N=1: collision probability %v, want 0", c)
+	}
+	if want := 2.0 / 15; math.Abs(tau-want) > 1e-12 {
+		t.Errorf("N=1 W=16: τ_f = %v, want %v", tau, want)
+	}
+}

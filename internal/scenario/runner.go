@@ -399,7 +399,7 @@ func runReplication(sp *Spec, rep int, ar *arena) (*replication, error) {
 	res := s.Run(sim.Duration(sp.Duration))
 	out := &replication{
 		res:         res,
-		hiddenPairs: len(tp.HiddenPairs()),
+		hiddenPairs: int(tp.HiddenPairCount()),
 		converged:   res.ConvergedThroughput(sim.Duration(*sp.Warmup)),
 	}
 	if capWriter != nil {

@@ -183,9 +183,16 @@ type Suite struct {
 // fuzzing), so validation bounds every dimension that controls memory or
 // CPU rather than trusting the caller.
 const (
-	// MaxStations bounds the station count (connectivity matrices are
-	// O(N²)).
-	MaxStations = 512
+	// MaxStations bounds the station count. The ceiling is derived from
+	// per-station capacity, not connectivity storage: topologies are
+	// grid-indexed (O(n) to build, no n×n matrices), so the binding cost
+	// is the engines' per-station state — station structs plus one
+	// ~4.9 KB lagged-Fibonacci RNG each, ≈ 5 KB/station, ≈ 0.5 GB at the
+	// cap. Dense layouts that would need more than
+	// topo.DefaultAdjacencyBudget materialised neighbour entries are
+	// additionally refused by the event engine at build time, so a
+	// hostile spec stays memory-bounded end to end.
+	MaxStations = 100_000
 	// MaxSeeds bounds replications per scenario. Generous enough for
 	// trusted paper-scale sweeps routed through the runner (the
 	// experiment CLI's -seeds flag lands here too); hostile input is

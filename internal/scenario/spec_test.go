@@ -68,7 +68,7 @@ func TestDecodeRejectsHostileInput(t *testing.T) {
 		{"unknown topology kind", `{"topology":{"kind":"torus","n":5}}`},
 		{"zero stations", `{"topology":{"kind":"connected","n":0}}`},
 		{"negative stations", `{"topology":{"kind":"connected","n":-3}}`},
-		{"absurd stations", `{"topology":{"kind":"connected","n":100000}}`},
+		{"absurd stations", `{"topology":{"kind":"connected","n":100001}}`},
 		{"unknown scheme", `{"scheme":"ALOHA","topology":{"kind":"connected","n":5}}`},
 		{"negative duration", `{"duration":"-5s","topology":{"kind":"connected","n":5}}`},
 		{"absurd duration", `{"duration":"9000h","topology":{"kind":"connected","n":5}}`},

@@ -55,9 +55,16 @@ type overflowEntry struct {
 }
 
 const (
-	// trackerSpan bounds the ring horizon in slots. DCF's maximum
-	// contention window is 1024, so only geometric tails overflow.
-	trackerSpan = 4096
+	// trackerSpan bounds the ring horizon in slots. It is sized for the
+	// scale tier: contention windows there grow with the population
+	// (W ≈ n, up to 100k), and a window beyond the ring horizon would
+	// park the *whole* population in the overflow list, whose migration
+	// pass is O(len) — the quadratic-ish behaviour the ring exists to
+	// avoid. At 2¹⁷ slots every counter up to 131k stays in-ring and
+	// only unbounded geometric tails overflow. The ring costs 512 KB
+	// per arena; reset clears it through the occupancy bitmap, so the
+	// paper-scale per-replication cost does not grow with the span.
+	trackerSpan = 1 << 17
 	trackerMask = trackerSpan - 1
 )
 
@@ -66,13 +73,26 @@ const (
 func (t *backoffTracker) reset(n int) {
 	if t.head == nil {
 		t.head = make([]int32, trackerSpan)
+		for i := range t.head {
+			t.head[i] = -1
+		}
 		t.occupied = make([]uint64, trackerSpan/64)
-	}
-	for i := range t.head {
-		t.head[i] = -1
-	}
-	for i := range t.occupied {
-		t.occupied[i] = 0
+	} else {
+		// The ring is huge and mostly empty; clear only the buckets the
+		// occupancy bitmap says are live (link/remove keep the invariant
+		// "bit clear ⟹ head = -1"), so arena reset stays O(span/64 +
+		// occupied) instead of a full wipe of the span.
+		for w, word := range t.occupied {
+			if word == 0 {
+				continue
+			}
+			base := w << 6
+			for word != 0 {
+				t.head[base+bits.TrailingZeros64(word)] = -1
+				word &= word - 1
+			}
+			t.occupied[w] = 0
+		}
 	}
 	if cap(t.next) < n {
 		t.next = make([]int32, n)
@@ -187,20 +207,29 @@ func (t *backoffTracker) takeExpired(dst []int) []int {
 }
 
 // minCounter returns the smallest relative counter over every tracked
-// station, or maxInt when the tracker is empty.
+// station, or maxInt when the tracker is empty. Overflow deltas are
+// compared in int64: an expiry can sit billions of slots out (clamped
+// geometric tails), and truncating the delta through int would wrap
+// negative on 32-bit platforms and stall the idle jump. The result is
+// clamped to maxInt on conversion; callers cap the jump at the window
+// and run-end boundaries anyway.
 func (t *backoffTracker) minCounter() int {
-	best := int(^uint(0) >> 1)
+	const maxInt = int(^uint(0) >> 1)
+	best := int64(maxInt)
 	if t.count > 0 {
 		if d, ok := t.scan(); ok {
-			best = d
+			best = int64(d)
 		}
 	}
 	if len(t.overflow) > 0 {
-		if d := int(t.currentOverflowMin() - t.base); d < best {
+		if d := t.currentOverflowMin() - t.base; d < best {
 			best = d
 		}
 	}
-	return best
+	if best > int64(maxInt) {
+		return maxInt
+	}
+	return int(best)
 }
 
 // scan finds the distance in slots from the base to the first occupied

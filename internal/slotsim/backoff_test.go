@@ -116,6 +116,50 @@ func TestBackoffTrackerDifferential(t *testing.T) {
 	}
 }
 
+// TestMinCounterLargeOverflowExpiry pins the int64 overflow-delta
+// arithmetic: a clamped geometric tail can park an expiry billions of
+// slots out, and the delta to it must survive minCounter without being
+// truncated through int (it wrapped negative on 32-bit platforms before
+// the fix, stalling the idle jump). The relative delta is also exercised
+// past 2³¹ against a ring entry, which must still win the comparison.
+func TestMinCounterLargeOverflowExpiry(t *testing.T) {
+	var tr backoffTracker
+	tr.reset(4)
+
+	// Overflow-only: the delta IS the answer, even when it exceeds 2³¹.
+	const far = int64(1) << 33
+	maxInt := int(^uint(0) >> 1)
+	farCounter := far
+	if farCounter > int64(maxInt) {
+		farCounter = int64(maxInt) // 32-bit: insert clamps at the API edge
+	}
+	tr.insert(0, int(farCounter))
+	if got := int64(tr.minCounter()); got != farCounter {
+		t.Fatalf("minCounter = %d, want the far overflow delta %d", got, farCounter)
+	}
+
+	// A ring entry must beat the far overflow expiry; a negative or
+	// wrapped overflow delta would steal the minimum.
+	tr.insert(1, 100)
+	if got := tr.minCounter(); got != 100 {
+		t.Fatalf("minCounter = %d with ring entry 100 + far overflow, want 100", got)
+	}
+
+	// After advancing past the ring entry's expiry, the harvested
+	// minimum must fall back to the (still huge) overflow delta.
+	tr.advance(100)
+	tr.takeExpired(nil)
+	if got := int64(tr.minCounter()); got != farCounter-100 {
+		t.Fatalf("minCounter = %d after advance, want %d", got, farCounter-100)
+	}
+
+	// Empty tracker still reports maxInt.
+	tr.remove(0, int(farCounter-100))
+	if got := tr.minCounter(); got != maxInt {
+		t.Fatalf("minCounter = %d on empty tracker, want maxInt", got)
+	}
+}
+
 func equalInts(a, b []int) bool {
 	if len(a) != len(b) {
 		return false

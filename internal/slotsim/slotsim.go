@@ -110,13 +110,18 @@ type Simulator struct {
 	// decrement of every counter.
 	tracker backoffTracker
 
-	// hasObservers gates the per-busy-period MediumObserver fan-out;
-	// memorylessIdx lists the stations whose policies redraw at every
-	// busy-period boundary (ascending). Both are fixed at init, so the
-	// resume pass skips entirely for window policies (DCF) and touches
-	// only the stations that actually draw otherwise.
-	hasObservers  bool
+	// The per-busy-period and per-iteration passes never scan all N
+	// stations: each pass walks a flat index array (the SoA idiom the
+	// calendar queue's bitmap established) listing exactly the stations
+	// it concerns, all fixed at init and ascending. memorylessIdx holds
+	// the policies that redraw at every busy-period boundary (the resume
+	// pass is free for DCF), observerIdx the MediumObserver policies
+	// (IdleSense), and unsatIdx the finite-load sources (arrival
+	// admission skips saturated stations, which at the 100k tier is
+	// almost everyone).
 	memorylessIdx []int32
+	observerIdx   []int32
+	unsatIdx      []int32
 
 	res Result
 }
@@ -228,6 +233,8 @@ func (s *Simulator) init(cfg Config) {
 	tracker := s.tracker
 	tracker.reset(len(cfg.Policies))
 	memIdx := s.memorylessIdx[:0]
+	obsIdx := s.observerIdx[:0]
+	unsatIdx := s.unsatIdx[:0]
 	// Series storage is deliberately NOT reused: Result marshals nil and
 	// empty slices differently, and a reused-but-empty series would make
 	// a Reset run's encoding observably differ from a fresh New run. The
@@ -248,7 +255,7 @@ func (s *Simulator) init(cfg Config) {
 			st.memoryless = m.BackoffMemoryless()
 		}
 		if st.observer != nil {
-			s.hasObservers = true
+			obsIdx = append(obsIdx, int32(i))
 		}
 		if st.memoryless {
 			memIdx = append(memIdx, int32(i))
@@ -263,6 +270,7 @@ func (s *Simulator) init(cfg Config) {
 	}
 	s.stations = stations
 	s.memorylessIdx = memIdx
+	s.observerIdx = obsIdx
 	if cfg.Arrivals != nil {
 		for i := range s.stations {
 			if cfg.Arrivals[i].Unsaturated() {
@@ -284,10 +292,12 @@ func (s *Simulator) init(cfg Config) {
 				}
 				if st.arr.Unsaturated() {
 					st.next = sim.Time(st.arr.NextInterArrival(st.arrRNG))
+					unsatIdx = append(unsatIdx, int32(i))
 				}
 			}
 		}
 	}
+	s.unsatIdx = unsatIdx
 	if cap(per) < n {
 		per = make([]int64, n)
 	} else {
@@ -422,16 +432,12 @@ func (s *Simulator) untrack(i int) {
 }
 
 // observe feeds medium-observing policies (IdleSense) the idle run that
-// preceded the busy period just starting. Skipped outright when no
-// policy observes the medium.
+// preceded the busy period just starting. The pass walks only the
+// observing stations (ascending, the same call order as the full scan it
+// replaces) and costs nothing when no policy observes the medium.
 func (s *Simulator) observe(idleRun int64) {
-	if !s.hasObservers {
-		return
-	}
-	for i := range s.stations {
-		if obs := s.stations[i].observer; obs != nil {
-			obs.ObserveTransmission(float64(idleRun))
-		}
+	for _, i := range s.observerIdx {
+		s.stations[i].observer.ObserveTransmission(float64(idleRun))
 	}
 }
 
@@ -477,13 +483,14 @@ func (s *Simulator) resume(attackers []int) {
 
 // admitArrivals moves every arrival with timestamp ≤ now into its
 // station's queue, drawing the counter when the station becomes
-// backlogged. Drops are counted against a full queue.
+// backlogged. Drops are counted against a full queue. Only the
+// unsaturated stations are visited (ascending — the admission order the
+// full scan produced), so a mostly saturated large-n population pays
+// nothing here.
 func (s *Simulator) admitArrivals() {
-	for i := range s.stations {
+	for _, i32 := range s.unsatIdx {
+		i := int(i32)
 		st := &s.stations[i]
-		if !st.arr.Unsaturated() {
-			continue
-		}
 		for !st.next.After(s.now) {
 			s.res.PacketsArrived++
 			if st.qlen >= st.arr.EffectiveQueueCap() {
@@ -507,9 +514,9 @@ func (s *Simulator) admitArrivals() {
 func (s *Simulator) slotsUntilArrival() int {
 	earliest := sim.Time(int64(^uint64(0) >> 1))
 	found := false
-	for i := range s.stations {
+	for _, i := range s.unsatIdx {
 		st := &s.stations[i]
-		if st.arr.Unsaturated() && st.next.Before(earliest) {
+		if st.next.Before(earliest) {
 			earliest = st.next
 			found = true
 		}

@@ -1,0 +1,160 @@
+package topo
+
+// Spatial index for the scale tier: a uniform grid over the station
+// bounding box with cell size ≥ the sensing radius. Any two stations
+// within sensing range of each other then sit in the same or adjacent
+// cells, so every adjacency question — neighbour lists, degrees, hidden
+// pair counts — scans at most the 3×3 cell block around a station
+// instead of all n stations. Building the grid is a counting sort:
+// O(n) time, O(n + cells) memory, no n×n anything.
+//
+// The grid only narrows *candidates*; membership is always decided by
+// the same inclusive pairwise-distance predicate the dense matrices
+// used, so the derived connectivity is bit-identical to the historical
+// representation (the dense-vs-indexed equivalence property test pins
+// this).
+
+const (
+	// gridMaxDim caps the grid resolution per axis so a geometrically
+	// huge custom layout cannot demand an unbounded number of cells;
+	// cells then grow beyond the sensing radius, which costs candidate
+	// precision but never correctness (the 3×3 scan stays sufficient
+	// for any cell size ≥ sensing).
+	gridMaxDim = 1024
+	// gridCellSlack pads the cell size a hair above the sensing radius
+	// so float rounding in the cell-coordinate products can never place
+	// two in-range stations more than one cell apart.
+	gridCellSlack = 1.000001
+)
+
+type grid struct {
+	minX, minY float64
+	w, h       float64 // bounding-box extents of the station set
+	inv        float64 // 1 / cell size
+	cols, rows int
+	start      []int32 // CSR cell offsets, len cols*rows+1
+	items      []int32 // station ids bucketed by cell
+}
+
+// build indexes pts with cells of at least the given size (the sensing
+// radius, padded by gridCellSlack).
+func (g *grid) build(pts []Point, cell float64) {
+	n := len(pts)
+	g.cols, g.rows = 0, 0
+	g.start, g.items = nil, nil
+	if n == 0 {
+		return
+	}
+	minX, minY := pts[0].X, pts[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range pts[1:] {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	g.minX, g.minY = minX, minY
+	g.w, g.h = maxX-minX, maxY-minY
+	cell *= gridCellSlack
+	if c := g.w / gridMaxDim; c > cell {
+		cell = c
+	}
+	if c := g.h / gridMaxDim; c > cell {
+		cell = c
+	}
+	g.inv = 1 / cell
+	g.cols = clampDim(int(g.w*g.inv) + 1)
+	g.rows = clampDim(int(g.h*g.inv) + 1)
+
+	// Counting sort of stations into cells.
+	g.start = make([]int32, g.cols*g.rows+1)
+	for _, p := range pts {
+		g.start[g.cellIndex(p)+1]++
+	}
+	for c := 1; c < len(g.start); c++ {
+		g.start[c] += g.start[c-1]
+	}
+	g.items = make([]int32, n)
+	cursor := make([]int32, g.cols*g.rows)
+	for i, p := range pts {
+		c := g.cellIndex(p)
+		g.items[g.start[c]+cursor[c]] = int32(i)
+		cursor[c]++
+	}
+}
+
+func clampDim(d int) int {
+	if d < 1 {
+		return 1
+	}
+	if d > gridMaxDim {
+		return gridMaxDim
+	}
+	return d
+}
+
+// cellCoords maps a point to its (column, row), clamped into range so
+// boundary rounding (and non-finite coordinates) can never index out of
+// the grid.
+func (g *grid) cellCoords(p Point) (int, int) {
+	cx := int((p.X - g.minX) * g.inv)
+	cy := int((p.Y - g.minY) * g.inv)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cx, cy
+}
+
+func (g *grid) cellIndex(p Point) int {
+	cx, cy := g.cellCoords(p)
+	return cy*g.cols + cx
+}
+
+// cell returns the station ids bucketed in cell (cx, cy).
+func (g *grid) cell(cx, cy int) []int32 {
+	c := cy*g.cols + cx
+	return g.items[g.start[c]:g.start[c+1]]
+}
+
+// forNear calls fn(id) for every station bucketed in the 3×3 cell block
+// around p — a superset of every station within the sensing radius of p
+// (including, when p is a station position, the station itself).
+func (g *grid) forNear(p Point, fn func(int32)) {
+	cx, cy := g.cellCoords(p)
+	y0, y1 := cy-1, cy+1
+	if y0 < 0 {
+		y0 = 0
+	}
+	if y1 >= g.rows {
+		y1 = g.rows - 1
+	}
+	x0, x1 := cx-1, cx+1
+	if x0 < 0 {
+		x0 = 0
+	}
+	if x1 >= g.cols {
+		x1 = g.cols - 1
+	}
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			for _, id := range g.cell(x, y) {
+				fn(id)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ package topo
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -69,16 +70,43 @@ func ClampToRim(pts []Point, r Radii) {
 // Topology is an immutable snapshot of station positions plus the derived
 // sensing/decoding sets. Station indices run 0..N-1; the access point is a
 // separate entity at AP.
+//
+// Connectivity is a pure function of pairwise distance and the two radii,
+// and is represented sparsely: pair queries (Senses, Decodes) are O(1)
+// distance predicates, while set queries (SensedBy, degrees, hidden-pair
+// counts) are served by a spatial grid index built in New — O(n) — plus
+// per-station sorted neighbour lists materialised lazily in
+// O(n·avg-degree) time and memory. Nothing ever allocates an n×n matrix,
+// which is what lets the scale tier lift station counts to 100k where
+// the dense representation capped out at 512.
 type Topology struct {
 	AP       Point
 	Stations []Point
 	Radii    Radii
 
-	senses  [][]bool // senses[i][j]: station i senses station j's transmissions
-	decodes [][]bool // decodes[i][j]: station i can decode station j
+	grid grid // spatial index over Stations, cell size ≥ Radii.Sensing
+
+	// Lazily derived adjacency, guarded by mu so a Topology stays safe
+	// for concurrent readers exactly as the dense matrices were.
+	mu         sync.Mutex
+	senseDeg   []int32 // sensed-neighbour count per station (excludes self)
+	senseEdges int64   // sum over senseDeg (each unordered pair counts twice)
+	senseOff   []int64 // CSR offsets into senseAdj, len n+1; nil until materialised
+	senseAdj   []int32 // ascending neighbour ids per station
 }
 
-// New builds a topology and precomputes the connectivity matrices.
+// DefaultAdjacencyBudget bounds materialised neighbour-list entries
+// (int32 ids, so ~512 MB at the cap). The paper's AP-bounded geometry —
+// every station within 16 m of the AP, sensing radius 24 m — is nearly
+// complete, so explicit adjacency is inherently Θ(n²) there and this
+// budget is what keeps a dense large-n request a clean error instead of
+// an OOM. Sparse layouts (big worlds, small radii) and the slotted
+// fully-connected tier, which never materialises adjacency, scale to
+// MaxStations unhindered.
+const DefaultAdjacencyBudget = 128 << 20
+
+// New builds a topology and its spatial grid index. It runs in O(n) time
+// and memory; connectivity derivations are computed on first use.
 func New(ap Point, stations []Point, r Radii) *Topology {
 	if r.Transmission <= 0 || r.Sensing <= 0 {
 		panic(fmt.Sprintf("topo: non-positive radii %+v", r))
@@ -88,25 +116,7 @@ func New(ap Point, stations []Point, r Radii) *Topology {
 		Stations: append([]Point(nil), stations...),
 		Radii:    r,
 	}
-	n := len(stations)
-	t.senses = make([][]bool, n)
-	t.decodes = make([][]bool, n)
-	for i := 0; i < n; i++ {
-		t.senses[i] = make([]bool, n)
-		t.decodes[i] = make([]bool, n)
-		for j := 0; j < n; j++ {
-			if i == j {
-				// A station trivially "senses" itself; it is never
-				// hidden from itself (the paper assumes t ∈ T_t).
-				t.senses[i][j] = true
-				t.decodes[i][j] = true
-				continue
-			}
-			d := stations[i].Distance(stations[j])
-			t.senses[i][j] = d <= r.Sensing
-			t.decodes[i][j] = d <= r.Transmission
-		}
-	}
+	t.grid.build(t.Stations, r.Sensing)
 	return t
 }
 
@@ -114,11 +124,24 @@ func New(ap Point, stations []Point, r Radii) *Topology {
 func (t *Topology) N() int { return len(t.Stations) }
 
 // Senses reports whether station i performs carrier sense on station j's
-// transmissions.
-func (t *Topology) Senses(i, j int) bool { return t.senses[i][j] }
+// transmissions. A station trivially "senses" itself; it is never hidden
+// from itself (the paper assumes t ∈ T_t).
+func (t *Topology) Senses(i, j int) bool {
+	if i == j {
+		_ = t.Stations[i] // keep the historical bounds panic
+		return true
+	}
+	return t.Stations[i].Distance(t.Stations[j]) <= t.Radii.Sensing
+}
 
 // Decodes reports whether station i can decode frames sent by station j.
-func (t *Topology) Decodes(i, j int) bool { return t.decodes[i][j] }
+func (t *Topology) Decodes(i, j int) bool {
+	if i == j {
+		_ = t.Stations[i] // keep the historical bounds panic
+		return true
+	}
+	return t.Stations[i].Distance(t.Stations[j]) <= t.Radii.Transmission
+}
 
 // StationHearsAP reports whether station i can decode AP transmissions.
 // The paper assumes all stations receive all AP transmissions; this method
@@ -138,26 +161,97 @@ func (t *Topology) APDecodes(i int) bool {
 	return t.Stations[i].Distance(t.AP) <= t.Radii.Transmission
 }
 
-// SensedBy returns the indices of stations that sense station i
-// (excluding i itself).
-func (t *Topology) SensedBy(i int) []int {
-	var out []int
-	for j := range t.Stations {
-		if j != i && t.senses[j][i] {
-			out = append(out, j)
-		}
+// EnsureAdjacency materialises the per-station sensed-neighbour lists if
+// they are not already built. maxEntries bounds the total list entries
+// (≤ 0 means unbounded): a topology whose sensed-edge count exceeds the
+// budget returns an error before allocating, so a dense large-n layout
+// degrades into a diagnosable refusal instead of an OOM. Engines that
+// need explicit adjacency (eventsim) call this with
+// DefaultAdjacencyBudget at configuration time.
+func (t *Topology) EnsureAdjacency(maxEntries int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.senseOff != nil {
+		return nil
 	}
-	return out
+	t.ensureDegreesLocked()
+	if maxEntries > 0 && t.senseEdges > maxEntries {
+		return fmt.Errorf("topo: neighbour lists for %d stations need %d entries, over the %d-entry budget (the layout is too dense for explicit adjacency at this scale)",
+			len(t.Stations), t.senseEdges, maxEntries)
+	}
+	n := len(t.Stations)
+	off := make([]int64, n+1)
+	for i, d := range t.senseDeg {
+		off[i+1] = off[i] + int64(d)
+	}
+	adj := make([]int32, t.senseEdges)
+	cursor := make([]int64, n)
+	// Visiting transmitters j in ascending order and appending j to every
+	// sensing neighbour's list fills each list already sorted — the exact
+	// ascending order the dense SensedBy scan produced.
+	for j := range t.Stations {
+		pj := t.Stations[j]
+		t.grid.forNear(pj, func(i32 int32) {
+			i := int(i32)
+			if i != j && t.Stations[i].Distance(pj) <= t.Radii.Sensing {
+				adj[off[i]+cursor[i]] = int32(j)
+				cursor[i]++
+			}
+		})
+	}
+	t.senseOff, t.senseAdj = off, adj
+	return nil
+}
+
+// ensureDegreesLocked computes per-station sensed degrees via the grid
+// index: O(n·avg-degree) time, O(n) memory. Caller holds t.mu.
+func (t *Topology) ensureDegreesLocked() {
+	if t.senseDeg != nil {
+		return
+	}
+	n := len(t.Stations)
+	deg := make([]int32, n)
+	edges := int64(0)
+	for j := range t.Stations {
+		pj := t.Stations[j]
+		t.grid.forNear(pj, func(i32 int32) {
+			i := int(i32)
+			if i != j && t.Stations[i].Distance(pj) <= t.Radii.Sensing {
+				deg[i]++
+				edges++
+			}
+		})
+	}
+	t.senseDeg = deg
+	t.senseEdges = edges
+}
+
+// SensedBy returns the indices of stations that sense station i
+// (excluding i itself), ascending. The slice is a view into the
+// topology's shared neighbour storage — callers must treat it as
+// read-only — so repeated calls allocate nothing (the alloc guardrail
+// pins this). The first call materialises the adjacency without a
+// budget; engines that must bound memory call EnsureAdjacency first.
+func (t *Topology) SensedBy(i int) []int32 {
+	_ = t.EnsureAdjacency(0) // cannot fail unbounded
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.senseAdj[t.senseOff[i]:t.senseOff[i+1]:t.senseOff[i+1]]
 }
 
 // HiddenPairs returns all unordered station pairs {i, j} that cannot sense
-// each other. The count of such pairs is the paper's measure of "how
-// hidden" a topology is.
+// each other, in (i ascending, j ascending) order. The count of such pairs
+// is the paper's measure of "how hidden" a topology is. Enumeration is
+// inherently O(n²) in the worst case; at scale, prefer HiddenPairCount.
 func (t *Topology) HiddenPairs() [][2]int {
+	if t.allWithinSensing() {
+		return nil
+	}
 	var pairs [][2]int
 	for i := 0; i < t.N(); i++ {
+		pi := t.Stations[i]
 		for j := i + 1; j < t.N(); j++ {
-			if !t.senses[i][j] {
+			if !(pi.Distance(t.Stations[j]) <= t.Radii.Sensing) {
 				pairs = append(pairs, [2]int{i, j})
 			}
 		}
@@ -165,17 +259,45 @@ func (t *Topology) HiddenPairs() [][2]int {
 	return pairs
 }
 
+// HiddenPairCount returns the number of unordered hidden pairs without
+// enumerating them: the pair total minus half the sensed-edge count from
+// the grid-indexed degree pass. Fully bounded layouts short-circuit to
+// zero via the bounding box, so the slotted tier's connected topologies
+// answer in O(1) even at 100k stations.
+func (t *Topology) HiddenPairCount() int64 {
+	n := int64(t.N())
+	if n < 2 || t.allWithinSensing() {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureDegreesLocked()
+	return n*(n-1)/2 - t.senseEdges/2
+}
+
 // FullyConnected reports whether every station senses every other station,
 // i.e. the network has no hidden pairs.
 func (t *Topology) FullyConnected() bool {
-	for i := 0; i < t.N(); i++ {
-		for j := 0; j < t.N(); j++ {
-			if !t.senses[i][j] {
-				return false
-			}
-		}
+	n := t.N()
+	if n <= 1 || t.allWithinSensing() {
+		return true
 	}
-	return true
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureDegreesLocked()
+	return t.senseEdges == int64(n)*int64(n-1)
+}
+
+// allWithinSensing reports whether the station bounding box alone proves
+// every pairwise distance is within the sensing radius — the fast path
+// that keeps connectivity checks O(n) for the fully-connected layouts
+// the slotted engine requires (e.g. the paper's radius-8 circle, whose
+// bounding-box diagonal 16√2 ≈ 22.6 m is inside the 24 m radius).
+func (t *Topology) allWithinSensing() bool {
+	if len(t.Stations) == 0 {
+		return true
+	}
+	return math.Hypot(t.grid.w, t.grid.h) <= t.Radii.Sensing
 }
 
 // Validate checks the standing assumptions of the paper's system model:
