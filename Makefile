@@ -1,13 +1,21 @@
 # Development entry points. CI runs the same commands; see
 # .github/workflows/ci.yml.
 
-.PHONY: test verify bench bench-compare bench-gate bench-smoke api api-check
+.PHONY: test verify lint bench bench-compare bench-gate bench-smoke api api-check
 
 # Tier-1 verification: everything must build and every test must pass.
 verify:
 	go build ./... && go test ./...
 
 test: verify
+
+# Static analysis: go vet plus the project's own wlanvet analyzers
+# (determinism, inttime, hotpath, observerpurity, sentinelwrap — see
+# internal/analysis). wlanvet exits non-zero on any finding that does
+# not carry a reasoned //wlanvet:allow annotation.
+lint:
+	go vet ./...
+	go run ./cmd/wlanvet ./...
 
 # Regenerate the committed public-API snapshot after an intentional
 # surface change (CI diffs it; see cmd/apisnapshot).

@@ -1,0 +1,94 @@
+// Command wlanvet is the repository's invariant checker: a multichecker
+// over the five project-specific analyzers that make the simulator's
+// load-bearing contracts structural instead of incidental to whichever
+// golden happened to exercise them.
+//
+//	determinism    — no wall clocks, global math/rand, or order-leaking
+//	                 map ranges in sim-critical packages
+//	inttime        — no narrowing conversions of int64 tick/expiry/slot
+//	                 arithmetic (the PR 7 minCounter truncation class)
+//	hotpath        — //wlanvet:hotpath functions contain no closures,
+//	                 fmt calls, boxing conversions or unguarded appends
+//	observerpurity — metrics are write-only inside simulation code
+//	sentinelwrap   — errors crossing the wlan facade wrap a typed
+//	                 sentinel via %w
+//
+// Usage:
+//
+//	wlanvet [-list] [packages]
+//
+// With no packages, ./... is checked. Suppressions are explicit in the
+// source: a //wlanvet:allow <reason> comment on (or immediately above)
+// the offending line silences it, and the reason is mandatory. Exit
+// status is 1 when findings remain, 2 on usage or load errors — the
+// same contract as go vet, which `make lint` and CI rely on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/inttime"
+	"repro/internal/analysis/observerpurity"
+	"repro/internal/analysis/sentinelwrap"
+)
+
+// analyzers is the wlanvet suite, in diagnostic-prefix order.
+var analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	hotpath.Analyzer,
+	inttime.Analyzer,
+	observerpurity.Analyzer,
+	sentinelwrap.Analyzer,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wlanvet [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Checks the repository's simulator invariants; with no packages, ./... .\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlanvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlanvet: %v\n", err)
+		return 2
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlanvet: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Printf("%s\n", f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "wlanvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

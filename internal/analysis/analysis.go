@@ -1,0 +1,111 @@
+// Package analysis is the repository's static-analysis substrate: a
+// self-contained reimplementation of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) plus a package loader and a
+// driver, built entirely on the standard library and the go command.
+//
+// It exists because the simulator's four load-bearing invariants —
+// bit-identical determinism, zero-allocation hot paths, metrics as pure
+// observers, and int64 tick arithmetic — were until now enforced only
+// dynamically, by goldens, allocation guardrails and fingerprint tests.
+// A violation ships silently and is caught only when a scale tier or
+// workload happens to exercise it (the PR 7 minCounter int truncation
+// is the canonical incident). The wlanvet analyzers in the sibling
+// packages make those invariants structural: they fail the build at the
+// offending line instead of failing a golden three layers away.
+//
+// The API deliberately mirrors go/analysis so the analyzers can be
+// lifted onto the real x/tools multichecker unchanged if the module
+// ever takes on that dependency; the container this repository grows in
+// has no module proxy access, so the framework itself stays std-only.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker: a name for diagnostics, a
+// doc string, and the function applied to every loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and must be a valid
+	// identifier.
+	Name string
+	// Doc is the analyzer's documentation: first line summary, then the
+	// contract it enforces and the incident/test that motivated it.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// Pass is one (analyzer, package) unit of work: the syntax, type
+// information and report sink for a single package.
+type Pass struct {
+	// Analyzer is the checker being applied.
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the package.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, in load order.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Report emits one diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position inside the package and a
+// message describing the invariant violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// PkgBase returns the last element of a slash-separated package path:
+// the analyzers scope themselves by path base (for example "slotsim",
+// "sweep") so that analyzertest packages named after the real package
+// fall under the same contract as the code they imitate.
+func PkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// SimCritical is the set of package-path bases under the determinism
+// contract: everything that executes between a seed and an emitted
+// result row. Code here may not read wall clocks, global RNG state, or
+// leak map iteration order into results (see the determinism, inttime
+// and observerpurity analyzers).
+//
+// The wlan facade and the cmd binaries sit deliberately outside the
+// set: run stamps and progress tickers are facts about one execution,
+// not about the physics, and live in sidecars the golden diffs never
+// see.
+var SimCritical = map[string]bool{
+	"sim":      true,
+	"eventsim": true,
+	"slotsim":  true,
+	"scenario": true,
+	"sweep":    true,
+	"topo":     true,
+	"traffic":  true,
+	"mac":      true,
+}
+
+// SimCriticalPkg reports whether the pass's package is inside the
+// determinism boundary.
+func SimCriticalPkg(p *Pass) bool { return SimCritical[PkgBase(p.Pkg.Path())] }

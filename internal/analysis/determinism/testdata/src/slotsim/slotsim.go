@@ -1,0 +1,95 @@
+// Package slotsim is determinism-analyzer testdata. Its directory name
+// puts it under the sim-critical scope exactly like the real package.
+package slotsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// wallClocks exercises the time-package checks.
+func wallClocks() time.Duration {
+	t0 := time.Now()        // want `time.Now reads the wall clock`
+	d := time.Since(t0)     // want `time.Since reads the wall clock`
+	time.Sleep(time.Second) // want `time.Sleep reads the wall clock`
+	_ = time.After(d)       // want `time.After reads the wall clock`
+	_ = time.Until(t0)      // want `time.Until reads the wall clock`
+	_ = time.Unix(0, 42)    // constructing an instant from given data is fine
+	_ = time.Duration(3e9)  // durations are just arithmetic
+	return 2 * time.Second  // constants and arithmetic never touch the clock
+}
+
+// allowedWallClock shows the escape hatch: an annotated observer read.
+func allowedWallClock() time.Time {
+	//wlanvet:allow run-stamp observer: feeds a scrape gauge, never simulation state
+	return time.Now()
+}
+
+// globalRand exercises the math/rand checks.
+func globalRand() {
+	_ = rand.Int()                     // want `rand.Int draws from the process-global generator`
+	_ = rand.Intn(7)                   // want `rand.Intn draws from the process-global generator`
+	_ = rand.Float64()                 // want `rand.Float64 draws from the process-global generator`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand.Shuffle draws from the process-global generator`
+}
+
+// ownedRand shows the legitimate pattern: constructors are fine, and
+// draws through a caller-owned generator are state the caller seeds.
+func ownedRand() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}
+
+// mapOrderEscapes exercises the order-leak checks.
+func mapOrderEscapes(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order escapes through an append`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapOrderReturns(m map[string]int) int {
+	for _, v := range m { // want `map iteration order escapes through a return`
+		if v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+func mapOrderSends(m map[string]int, ch chan int) {
+	for _, v := range m { // want `map iteration order escapes through a channel send`
+		ch <- v
+	}
+}
+
+// mapFold shows the benign form: a commutative fold over a map does not
+// observe iteration order.
+func mapFold(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// mapRangeAllowed shows a map range whose order escape is annotated —
+// the caller sorts the slice before use.
+func mapRangeAllowed(m map[string]int) []string {
+	var keys []string
+	//wlanvet:allow sorted by the caller before any output depends on it
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sliceRange shows that ranging over a slice is never flagged.
+func sliceRange(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+// Package util is determinism-analyzer testdata OUTSIDE the
+// sim-critical scope: the same constructs that are findings in slotsim
+// are unremarkable here.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time { return time.Now() }
+
+func roll() int { return rand.Int() }
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

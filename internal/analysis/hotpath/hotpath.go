@@ -1,0 +1,185 @@
+// Package hotpath turns the runtime allocation guardrails into
+// source-level diagnostics: functions annotated //wlanvet:hotpath (the
+// scheduler operations, the slotsim backoff tracker and observe loop,
+// the eventsim per-frame handlers — the same paths the alloc_test
+// guardrails drive) may not contain the four constructs that silently
+// put allocations back on a zero-alloc path:
+//
+//   - function literals, which capture and escape;
+//   - fmt calls, which box every operand;
+//   - interface conversions of non-pointer-shaped values, which
+//     allocate the boxed copy (pointer-shaped values — pointers,
+//     funcs, channels, maps — box for free and are not flagged, which
+//     is exactly why the scheduler's AtArg(arg any) contract demands
+//     pointers);
+//   - append, which may grow the backing array.
+//
+// A runtime guardrail failure says "this loop allocated"; a hotpath
+// diagnostic names the line that will make it allocate. Amortised or
+// pooled appends (heap growth, free lists, caller-owned scratch
+// buffers) carry //wlanvet:allow annotations naming the amortisation
+// argument. Constructs whose only reachable use is feeding panic are
+// exempt: a panic path is by definition not the steady state the
+// zero-alloc contract covers.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the zero-allocation hot-path checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "flag closures, fmt, boxing interface conversions and appends in //wlanvet:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.IsHotpath(fd) {
+				continue
+			}
+			check(pass, fd.Name.Name, fd.Body, false)
+		}
+	}
+	return nil
+}
+
+// check walks a hot function body. inPanic marks subtrees whose only
+// use is building a panic argument.
+func check(pass *analysis.Pass, fn string, n ast.Node, inPanic bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !inPanic {
+				pass.Reportf(n.Pos(),
+					"closure in hot path %s: the captured variables escape and allocate; pass a pre-bound func value and an arg pointer instead", fn)
+			}
+			return false // the literal is the finding; don't re-flag its body
+		case *ast.CallExpr:
+			if isPanic(pass, n) {
+				for _, arg := range n.Args {
+					check(pass, fn, arg, true)
+				}
+				return false
+			}
+			checkCall(pass, fn, n, inPanic)
+		}
+		return true
+	})
+}
+
+// isPanic reports whether call invokes the panic builtin.
+func isPanic(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func checkCall(pass *analysis.Pass, fn string, call *ast.CallExpr, inPanic bool) {
+	if inPanic {
+		return
+	}
+	// append: growth reallocates. Pooled/amortised growth is annotated.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" {
+				pass.Reportf(call.Pos(),
+					"append in hot path %s may grow the backing array; preallocate, or annotate the amortisation argument with //wlanvet:allow <reason>", fn)
+			}
+			return
+		}
+	}
+	// Explicit conversion to an interface type.
+	if tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		if len(call.Args) == 1 && isInterface(tv.Type) {
+			if src := pass.TypesInfo.TypeOf(call.Args[0]); boxes(pass, call.Args[0], src) {
+				pass.Reportf(call.Pos(),
+					"conversion to %s boxes a %s in hot path %s; pass a pointer (pointer-shaped values box for free)",
+					types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)),
+					types.TypeString(src, types.RelativeTo(pass.Pkg)), fn)
+			}
+		}
+		return
+	}
+	// fmt: every operand is boxed and the formatter allocates.
+	if f := calleeFunc(pass, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s call in hot path %s allocates; hot paths format nothing", f.Name(), fn)
+		return
+	}
+	// Implicit boxing at interface-typed parameters.
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // a ...slice forwards without boxing elements
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !isInterface(pt) {
+			continue
+		}
+		if src := pass.TypesInfo.TypeOf(arg); boxes(pass, arg, src) {
+			pass.Reportf(arg.Pos(),
+				"argument boxes a %s into %s in hot path %s; pass a pointer (pointer-shaped values box for free)",
+				types.TypeString(src, types.RelativeTo(pass.Pkg)),
+				types.TypeString(pt, types.RelativeTo(pass.Pkg)), fn)
+		}
+	}
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	f, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return f
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// boxes reports whether converting arg (of type src) to an interface
+// allocates: true for concrete non-pointer-shaped values, false for
+// interfaces, untyped nil and pointer-shaped types whose representation
+// already fits the interface data word.
+func boxes(pass *analysis.Pass, arg ast.Expr, src types.Type) bool {
+	if src == nil || isInterface(src) {
+		return false
+	}
+	if b, ok := src.Underlying().(*types.Basic); ok {
+		if b.Kind() == types.UntypedNil || b.Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Chan, *types.Map:
+		return false
+	}
+	_ = arg
+	return true
+}

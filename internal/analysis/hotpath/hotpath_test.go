@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analyzertest.Run(t, hotpath.Analyzer, "hot")
+}

@@ -1,0 +1,74 @@
+// Package hot is hotpath-analyzer testdata. The analyzer keys on the
+// //wlanvet:hotpath directive, not the package, so any directory works.
+package hot
+
+import "fmt"
+
+type event struct{ id int }
+
+type sched struct {
+	free []*event
+	hook func(any)
+	sink []int
+}
+
+func (s *sched) take(fn func(any), arg any) {}
+
+//wlanvet:hotpath
+func (s *sched) closures(x int) {
+	f := func() int { return x } // want `closure in hot path closures`
+	_ = f
+}
+
+//wlanvet:hotpath
+func (s *sched) formats(x int) {
+	fmt.Println(x)      // want `fmt.Println call in hot path formats`
+	_ = fmt.Sprint("x") // want `fmt.Sprint call in hot path formats`
+}
+
+//wlanvet:hotpath
+func (s *sched) appends(e *event) {
+	s.free = append(s.free, e) // want `append in hot path appends may grow the backing array`
+}
+
+//wlanvet:hotpath
+func (s *sched) appendAllowed(e *event) {
+	//wlanvet:allow amortised: pool grows to the high-water mark then reuses capacity
+	s.free = append(s.free, e)
+}
+
+//wlanvet:hotpath
+func (s *sched) boxing(e *event, n int, v struct{ a, b int }) {
+	s.take(s.hook, e) // pointers box for free: not flagged
+	s.take(s.hook, n) // want `argument boxes a int into any in hot path boxing`
+	s.take(s.hook, v) // want `argument boxes a struct\{a int; b int\} into any in hot path boxing`
+	var x any = any(e)
+	_ = x
+	_ = any(n) // want `conversion to any boxes a int in hot path boxing`
+}
+
+//wlanvet:hotpath
+func (s *sched) variadic(args []any, n int) {
+	variadicSink(args...) // forwarding a ...slice boxes nothing
+	variadicSink(n)       // want `argument boxes a int into any in hot path variadic`
+	variadicSink(&n)      // pointer element boxes for free
+}
+
+func variadicSink(args ...any) {}
+
+//wlanvet:hotpath
+func (s *sched) panics(x int64) {
+	if x < 0 {
+		// The panic path is cold by definition: its fmt call, boxing
+		// and closure are exempt.
+		panic(fmt.Sprintf("negative %d from %v", x, func() int { return int(x) }()))
+	}
+}
+
+// coldFunc has no directive: the same constructs are unremarkable.
+func (s *sched) coldFunc(n int) {
+	f := func() int { return n }
+	fmt.Println(f())
+	s.sink = append(s.sink, n)
+	s.take(s.hook, n)
+}

@@ -1,0 +1,101 @@
+// Package inttime flags narrowing conversions of 64-bit tick, expiry
+// and slot-count arithmetic inside the sim-critical packages.
+//
+// Simulated time (sim.Time), durations and absolute slot expiries are
+// all int64. Converting such a value — or a delta derived from one —
+// through int truncates on 32-bit platforms: the PR 7 minCounter bug
+// pushed an overflow expiry delta (billions of slots out, from clamped
+// geometric tails) through int, which wraps negative on 32-bit and
+// stalls the idle jump. The dynamic tests never caught it because the
+// paper-scale workloads never produced a delta that large.
+//
+// The analyzer therefore flags every conversion whose operand is a
+// 64-bit integer type (int64, uint64, or a named type such as sim.Time
+// or time.Duration) and whose target is a smaller or platform-sized
+// integer type (int and uint are 32 bits on 32-bit platforms). The
+// same construct guarded by an explicit clamp or bound carries a
+// //wlanvet:allow annotation naming the guard. Comparisons cannot mix
+// int and int64 without one of these conversions, so flagging the
+// conversion covers the mixed-comparison form of the bug too.
+package inttime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the int64 tick-arithmetic checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "inttime",
+	Doc:  "flag narrowing conversions of int64 tick/expiry/slot values (the minCounter truncation class)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.SimCriticalPkg(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			checkConversion(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	tvFun, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]
+	if !ok || !tvFun.IsType() {
+		return
+	}
+	// Constant expressions are evaluated (and bounds-checked) at
+	// compile time; only runtime narrowing can truncate silently.
+	if tv, ok := pass.TypesInfo.Types[call]; ok && tv.Value != nil {
+		return
+	}
+	src := pass.TypesInfo.TypeOf(call.Args[0])
+	if src == nil || !is64Int(src) {
+		return
+	}
+	dst := tvFun.Type
+	if !isNarrowerInt(dst) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"narrowing conversion %s(...) of 64-bit value (%s) truncates on 32-bit platforms; keep tick/expiry arithmetic in int64 and clamp explicitly (the minCounter bug class), or annotate the guard with //wlanvet:allow <reason>",
+		types.TypeString(dst, types.RelativeTo(pass.Pkg)),
+		types.TypeString(src, types.RelativeTo(pass.Pkg)))
+}
+
+// is64Int reports whether t's underlying type is a 64-bit integer.
+func is64Int(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Int64 || b.Kind() == types.Uint64
+}
+
+// isNarrowerInt reports whether t's underlying type is an integer type
+// that cannot hold every int64/uint64 value on every platform.
+func isNarrowerInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int, types.Uint, // 32 bits on 32-bit platforms
+		types.Int32, types.Uint32,
+		types.Int16, types.Uint16,
+		types.Int8, types.Uint8:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package inttime_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/inttime"
+)
+
+func TestIntTime(t *testing.T) {
+	analyzertest.Run(t, inttime.Analyzer, "eventsim", "util")
+}

@@ -1,0 +1,71 @@
+// Package eventsim is inttime-analyzer testdata. Its directory name
+// puts it under the sim-critical scope exactly like the real package.
+package eventsim
+
+import "time"
+
+// Time mirrors sim.Time: a named type whose underlying type is int64.
+type Time int64
+
+type tracker struct {
+	base     int64
+	overflow []int64
+}
+
+func (t *tracker) currentOverflowMin() int64 { return t.overflow[0] }
+
+// minCounterPR7 reproduces the historical minCounter bug verbatim: the
+// expiry delta — billions of slots out for clamped geometric tails —
+// is compared in int, which wraps negative on 32-bit platforms and
+// stalled the idle jump until PR 7 fixed it.
+func (t *tracker) minCounterPR7() int {
+	best := int(^uint(0) >> 1)
+	if len(t.overflow) > 0 {
+		if d := int(t.currentOverflowMin() - t.base); d < best { // want `narrowing conversion int\(\.\.\.\) of 64-bit value \(int64\)`
+			best = d
+		}
+	}
+	return best
+}
+
+// minCounterFixed is the PR 7 fix: compare in int64, clamp on
+// conversion, annotate the guard.
+func (t *tracker) minCounterFixed() int {
+	const maxInt = int(^uint(0) >> 1)
+	best := int64(maxInt)
+	if len(t.overflow) > 0 {
+		if d := t.currentOverflowMin() - t.base; d < best {
+			best = d
+		}
+	}
+	if best > int64(maxInt) {
+		return maxInt
+	}
+	//wlanvet:allow guarded: best ≤ maxInt after the clamp above
+	return int(best)
+}
+
+func narrowings(v int64, u uint64, tm Time, d time.Duration) {
+	_ = int(v)                    // want `narrowing conversion int\(\.\.\.\) of 64-bit value \(int64\)`
+	_ = int32(v)                  // want `narrowing conversion int32\(\.\.\.\) of 64-bit value \(int64\)`
+	_ = uint16(v)                 // want `narrowing conversion uint16\(\.\.\.\) of 64-bit value \(int64\)`
+	_ = int(u)                    // want `narrowing conversion int\(\.\.\.\) of 64-bit value \(uint64\)`
+	_ = int(tm)                   // want `narrowing conversion int\(\.\.\.\) of 64-bit value \(Time\)`
+	_ = int(d / time.Millisecond) // want `narrowing conversion int\(\.\.\.\) of 64-bit value \(time.Duration\)`
+}
+
+func widenings(n int, w int32, v int64) {
+	_ = int64(n)   // widening is always safe
+	_ = int64(w)   // widening is always safe
+	_ = uint64(v)  // same width, not flagged: truncation is the target
+	_ = float64(v) // float conversions are range changes, not this bug class
+	_ = int(w)     // 32-bit source fits every platform int
+}
+
+func constants() {
+	// Constant conversions are evaluated and bounds-checked at compile
+	// time; they cannot truncate silently.
+	_ = int(int64(1 << 20))
+	const big int64 = 1 << 40
+	_ = int32(big >> 20)
+}

@@ -1,0 +1,6 @@
+// Package util is inttime-analyzer testdata OUTSIDE the sim-critical
+// scope: narrowing conversions of non-tick values are ordinary code
+// elsewhere in the module.
+package util
+
+func narrow(v int64) int { return int(v) }

@@ -1,0 +1,12 @@
+package observerpurity_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/observerpurity"
+)
+
+func TestObserverPurity(t *testing.T) {
+	analyzertest.Run(t, observerpurity.Analyzer, "scenario")
+}

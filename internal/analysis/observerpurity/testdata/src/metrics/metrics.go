@@ -1,0 +1,23 @@
+// Package metrics is a stub of the real internal/metrics package: the
+// analyzer matches instrument types by package base name, so this
+// sibling directory stands in for it in testdata.
+package metrics
+
+import "io"
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc()          { c.v++ }
+func (c *Counter) Add(d uint64)  { c.v += d }
+func (c *Counter) Value() uint64 { return c.v }
+
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(v int64)  { g.v = v }
+func (g *Gauge) Inc()         { g.v++ }
+func (g *Gauge) Dec()         { g.v-- }
+func (g *Gauge) Value() int64 { return g.v }
+
+type Registry struct{}
+
+func (r *Registry) WritePrometheus(w io.Writer) {}

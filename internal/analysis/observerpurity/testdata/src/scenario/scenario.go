@@ -1,0 +1,45 @@
+// Package scenario is observerpurity-analyzer testdata. Its directory
+// name puts it under the sim-critical scope exactly like the real
+// package; the sibling metrics directory stands in for internal/metrics.
+package scenario
+
+import (
+	"io"
+
+	"metrics"
+)
+
+type runner struct {
+	replications *metrics.Counter
+	inFlight     *metrics.Gauge
+	reg          *metrics.Registry
+}
+
+// writes shows the legal direction: simulation code may bump
+// instrumentation all it wants.
+func (r *runner) writes() {
+	r.replications.Inc()
+	r.replications.Add(3)
+	r.inFlight.Set(7)
+	r.inFlight.Dec()
+}
+
+// reads shows the violation: a value read back from instrumentation is
+// the first step of metrics feeding into simulation state.
+func (r *runner) reads() uint64 {
+	if r.inFlight.Value() > 0 { // want `metrics read \*metrics.Gauge.Value inside sim-critical code`
+		return 0
+	}
+	return r.replications.Value() // want `metrics read \*metrics.Counter.Value inside sim-critical code`
+}
+
+// render shows that registry renders count as reads too.
+func (r *runner) render(w io.Writer) {
+	r.reg.WritePrometheus(w) // want `metrics read \*metrics.Registry.WritePrometheus inside sim-critical code`
+}
+
+// scrape shows the escape hatch: an annotated render-time observer.
+func (r *runner) scrape() uint64 {
+	//wlanvet:allow render-time observer: runs at scrape time, never inside a replication
+	return r.replications.Value()
+}

@@ -1,0 +1,103 @@
+// Package sentinelwrap enforces the wlan facade's error contract:
+// every error that crosses the public surface wraps one of the typed
+// sentinels (ErrInvalidConfig, ErrCanceled, ErrClosed, ...) so callers
+// branch with errors.Is instead of matching message strings — the
+// contract the facade's documentation promises and its round-trip
+// tests pin.
+//
+// Two constructs break the contract silently:
+//
+//   - fmt.Errorf without a %w verb manufactures an unclassifiable
+//     error: it LOOKS wrapped but errors.Is finds nothing;
+//   - errors.New inside a function body mints a fresh anonymous
+//     sentinel per call site that no caller can possibly test for.
+//
+// errors.New is legal only in package-level var declarations — that is
+// what a sentinel IS. The analyzer scopes itself to the wlan package:
+// internal layers have their own sentinels (scenario.ErrInvalidSpec,
+// sweep.ErrInvalidGrid) but also return raw simulation errors that the
+// facade's wrapErr maps; only the facade promises the closed taxonomy.
+package sentinelwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the facade error-wrapping checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelwrap",
+	Doc:  "errors crossing the wlan facade must wrap a typed sentinel via %w",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PkgBase(pass.Pkg.Path()) != "wlan" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Track whether we are inside any function body: errors.New is
+		// fine only outside them (package-level sentinel declarations).
+		var depth int
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				depth++
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						ast.Inspect(n.Body, walk)
+					}
+				case *ast.FuncLit:
+					ast.Inspect(n.Body, walk)
+				}
+				depth--
+				return false
+			case *ast.CallExpr:
+				checkCall(pass, n, depth > 0)
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, inFunc bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return
+	}
+	switch {
+	case f.Pkg().Path() == "errors" && f.Name() == "New":
+		if inFunc {
+			pass.Reportf(call.Pos(),
+				"errors.New inside a function mints an anonymous error no caller can errors.Is against; wrap a package sentinel with fmt.Errorf(\"%%w: ...\", ErrX, ...) instead")
+		}
+	case f.Pkg().Path() == "fmt" && f.Name() == "Errorf":
+		if len(call.Args) == 0 {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			// A non-constant format cannot be audited; flag it so it is
+			// either made constant or explicitly annotated.
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf with a non-constant format cannot be checked for %%w sentinel wrapping; use a constant format")
+			return
+		}
+		if !strings.Contains(constant.StringVal(tv.Value), "%w") {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf without %%w crossing the wlan facade: the result matches no typed sentinel under errors.Is; wrap ErrInvalidConfig/ErrCanceled/ErrClosed or the underlying error")
+		}
+	}
+}

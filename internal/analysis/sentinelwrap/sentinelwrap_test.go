@@ -1,0 +1,12 @@
+package sentinelwrap_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/sentinelwrap"
+)
+
+func TestSentinelWrap(t *testing.T) {
+	analyzertest.Run(t, sentinelwrap.Analyzer, "wlan", "scenario")
+}

@@ -1,0 +1,17 @@
+// Package scenario is sentinelwrap-analyzer testdata OUTSIDE the
+// facade scope: internal layers return raw errors that the facade's
+// wrapErr maps, so the same constructs are unremarkable here.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+)
+
+func anonymous() error {
+	return errors.New("internal layers may mint raw errors")
+}
+
+func unwrapped(err error) error {
+	return fmt.Errorf("context: %v", err)
+}

@@ -1,0 +1,55 @@
+// Package wlan is sentinelwrap-analyzer testdata. Its directory name
+// puts it under the facade scope exactly like the real package.
+package wlan
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level errors.New declarations are what a sentinel IS.
+var (
+	ErrInvalidConfig = errors.New("wlan: invalid configuration")
+	ErrClosed        = errors.New("wlan: lab closed")
+)
+
+// wrapped shows the contract: cross-facade errors wrap a sentinel.
+func wrapped(name string) error {
+	return fmt.Errorf("%w: scenario %q", ErrInvalidConfig, name)
+}
+
+// wrappedCause shows wrapping an underlying error is fine too.
+func wrappedCause(err error) error {
+	return fmt.Errorf("loading spec: %w", err)
+}
+
+// anonymous mints an error no caller can errors.Is against.
+func anonymous() error {
+	return errors.New("something went wrong") // want `errors.New inside a function mints an anonymous error`
+}
+
+// anonymousInClosure shows the check follows function literals.
+var anonymousInClosure = func() error {
+	return errors.New("also anonymous") // want `errors.New inside a function mints an anonymous error`
+}
+
+// unwrapped looks wrapped but matches no sentinel under errors.Is.
+func unwrapped(err error) error {
+	return fmt.Errorf("loading spec: %v", err) // want `fmt.Errorf without %w crossing the wlan facade`
+}
+
+// dynamicFormat cannot be audited for %w at all.
+func dynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err) // want `fmt.Errorf with a non-constant format`
+}
+
+// allowed shows the escape hatch for a deliberate terminal error.
+func allowed() error {
+	//wlanvet:allow process-exit diagnostic: never crosses the facade, printed and discarded by main
+	return errors.New("usage: wlansim [flags]")
+}
+
+// otherFmt shows that fmt functions besides Errorf are out of scope.
+func otherFmt(err error) string {
+	return fmt.Sprintf("err: %v", err)
+}

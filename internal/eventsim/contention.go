@@ -26,7 +26,10 @@ func (b *bitset) grow(n int) {
 	}
 }
 
-func (b *bitset) set(i int)   { b.words[i>>6] |= 1 << (uint(i) & 63) }
+//wlanvet:hotpath
+func (b *bitset) set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+//wlanvet:hotpath
 func (b *bitset) clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
 
 // Lazy contention wake-ups.
@@ -58,6 +61,8 @@ func (b *bitset) clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
 // disarm retracts st's virtual attempt (frozen or deactivated). When st
 // owns the live event the candidate minimum is stale: cancel it and
 // mark the system dirty so the enclosing transition batch re-arms.
+//
+//wlanvet:hotpath
 func (s *Simulator) disarm(st *station) {
 	st.armed = false
 	s.ready.clear(st.id)
@@ -74,6 +79,8 @@ func (s *Simulator) disarm(st *station) {
 // once per event, after the callback's whole batch of transitions — and
 // once at init for the pre-Run arming; it is O(armed stations) when
 // dirty and O(1) otherwise.
+//
+//wlanvet:hotpath
 func (s *Simulator) rearm() {
 	if !s.contDirty {
 		return

@@ -419,6 +419,8 @@ func (s *Simulator) deactivateNow(st *station) {
 
 // scheduleArrival arms the next packet-arrival event while the source is
 // emitting.
+//
+//wlanvet:hotpath
 func (s *Simulator) scheduleArrival(st *station) {
 	if !st.trafficOn {
 		return
@@ -428,6 +430,8 @@ func (s *Simulator) scheduleArrival(st *station) {
 
 // arrival delivers one packet to st's queue, dropping it when the queue
 // is at capacity, and wakes the station if it was idling.
+//
+//wlanvet:hotpath
 func (s *Simulator) arrival(st *station) {
 	st.nextArrival = sim.Ref{}
 	if st.state == stateInactive {
@@ -448,6 +452,8 @@ func (s *Simulator) arrival(st *station) {
 }
 
 // phaseFlip toggles an OnOff source between emitting and silent phases.
+//
+//wlanvet:hotpath
 func (s *Simulator) phaseFlip(st *station) {
 	st.phaseRef = sim.Ref{}
 	if st.state == stateInactive {
@@ -465,6 +471,8 @@ func (s *Simulator) phaseFlip(st *station) {
 
 // recordLatency accounts one delivered packet's arrival→ACK delay into
 // the per-station and aggregate latency/jitter statistics.
+//
+//wlanvet:hotpath
 func (s *Simulator) recordLatency(st *station, lat sim.Duration) {
 	s.latHist.Observe(lat)
 	st.latSum += lat
@@ -481,6 +489,8 @@ func (s *Simulator) recordLatency(st *station, lat sim.Duration) {
 }
 
 // startContention draws a fresh backoff and arms the countdown.
+//
+//wlanvet:hotpath
 func (s *Simulator) startContention(st *station) {
 	st.state = stateContending
 	st.remaining = st.policy.NextBackoff(st.rng)
@@ -492,6 +502,8 @@ func (s *Simulator) startContention(st *station) {
 // onBusyEnd re-arms it. Arming reserves the scheduler sequence number
 // the eager code would have consumed, but pushes no event: the live
 // event lands on the candidate-minimum attempt at the next rearm.
+//
+//wlanvet:hotpath
 func (s *Simulator) armCountdown(st *station) {
 	if st.busyCount > 0 || st.state != stateContending {
 		return
@@ -517,6 +529,8 @@ func (s *Simulator) armCountdown(st *station) {
 }
 
 // onBusyStart informs st that a transmission it senses has started.
+//
+//wlanvet:hotpath
 func (s *Simulator) onBusyStart(st *station) {
 	st.busyCount++
 	if st.busyCount != 1 {
@@ -543,6 +557,7 @@ func (s *Simulator) onBusyStart(st *station) {
 	// Freeze: bank the fully elapsed slots and retract the attempt.
 	elapsed := 0
 	if now.After(st.runStart) {
+		//wlanvet:allow bounded: the delta is within one run and spec validation caps durations far below 2³¹ slots; clamped to remaining below
 		elapsed = int(now.Sub(st.runStart) / s.cfg.PHY.Slot)
 	}
 	if elapsed > st.remaining {
@@ -556,6 +571,8 @@ func (s *Simulator) onBusyStart(st *station) {
 // that just closed, using the 802.11 convention: gaps shorter than DIFS
 // belong to the ongoing frame exchange, and only time beyond the
 // mandatory DIFS counts as idle slots.
+//
+//wlanvet:hotpath
 func (s *Simulator) observeIdleGap(st *station, now sim.Time) {
 	if st.observer == nil {
 		return
@@ -568,6 +585,8 @@ func (s *Simulator) observeIdleGap(st *station, now sim.Time) {
 }
 
 // onBusyEnd informs st that a transmission it senses has ended.
+//
+//wlanvet:hotpath
 func (s *Simulator) onBusyEnd(st *station) {
 	st.busyCount--
 	if st.busyCount < 0 {
@@ -595,6 +614,8 @@ func (s *Simulator) onBusyEnd(st *station) {
 
 // newTransmission takes a recycled record from the pool, or allocates
 // while the pool warms up.
+//
+//wlanvet:hotpath
 func (s *Simulator) newTransmission() *transmission {
 	if n := len(s.txPool); n > 0 {
 		rec := s.txPool[n-1]
@@ -609,13 +630,18 @@ func (s *Simulator) newTransmission() *transmission {
 // freeTransmission recycles a record once txComplete has consumed it. No
 // reference survives: the record has been removed from s.active and its
 // scheduler event has already fired.
+//
+//wlanvet:hotpath
 func (s *Simulator) freeTransmission(rec *transmission) {
 	rec.st = nil
+	//wlanvet:allow amortised: the pool grows to the concurrent-transmission high-water mark, then every append reuses capacity
 	s.txPool = append(s.txPool, rec)
 }
 
 // txBegin puts st's data frame on the air. It fires as the candidate-
 // minimum contention event, so the live-event slot is free again.
+//
+//wlanvet:hotpath
 func (s *Simulator) txBegin(st *station) {
 	st.armed = false
 	s.ready.clear(st.id)
@@ -649,6 +675,8 @@ func (s *Simulator) txBegin(st *station) {
 // rule: any temporal overlap of two station frames destroys both, and a
 // frame overlapping an AP transmission is lost (the AP cannot receive
 // while sending).
+//
+//wlanvet:hotpath
 func (s *Simulator) launch(rec *transmission) {
 	now := s.sched.Now()
 	if s.apTx {
@@ -658,6 +686,7 @@ func (s *Simulator) launch(rec *transmission) {
 		other.collided = true
 		rec.collided = true
 	}
+	//wlanvet:allow amortised: active grows to the concurrent-transmission high-water mark, then every append reuses capacity
 	s.active = append(s.active, rec)
 	if len(s.active) > s.maxConcurrent {
 		s.maxConcurrent = len(s.active)
@@ -671,11 +700,14 @@ func (s *Simulator) launch(rec *transmission) {
 
 // txComplete removes the frame from the air and routes to the ACK or
 // failure path.
+//
+//wlanvet:hotpath
 func (s *Simulator) txComplete(rec *transmission) {
 	st := rec.st
 	now := s.sched.Now()
 	for i, r := range s.active {
 		if r == rec {
+			//wlanvet:allow in-place: the removal compacts s.active over its own backing array, never growing it
 			s.active = append(s.active[:i], s.active[i+1:]...)
 			break
 		}
@@ -700,7 +732,8 @@ func (s *Simulator) txComplete(rec *transmission) {
 	if kind == kindRTS {
 		if s.cfg.Trace != nil {
 			wire := frame.Marshal(&frame.RTS{
-				Source:   frame.Address(st.id),
+				Source: frame.Address(st.id),
+				//wlanvet:allow the 802.11 Duration/ID field is 16 bits by spec; one exchange's NAV is far below 65535 µs
 				Duration: uint16(s.navDuration() / sim.Microsecond),
 			})
 			s.cfg.Trace.Frame(now, wire, collided)
@@ -745,6 +778,8 @@ func (s *Simulator) txComplete(rec *transmission) {
 func (s *Simulator) navDuration() sim.Duration { return s.tNAV }
 
 // ctsBegin starts the AP's clear-to-send answer to an uncollided RTS.
+//
+//wlanvet:hotpath
 func (s *Simulator) ctsBegin(target *station) {
 	now := s.sched.Now()
 	if s.apTx {
@@ -764,6 +799,8 @@ func (s *Simulator) ctsBegin(target *station) {
 // ctsEnd completes the CTS: every station that could decode it arms its
 // NAV for the rest of the exchange, and the reservation owner proceeds to
 // its data frame after SIFS.
+//
+//wlanvet:hotpath
 func (s *Simulator) ctsEnd(target *station) {
 	now := s.sched.Now()
 	s.apTx = false
@@ -774,6 +811,7 @@ func (s *Simulator) ctsEnd(target *station) {
 	if s.cfg.Trace != nil {
 		wire := frame.Marshal(&frame.CTS{
 			Receiver: frame.Address(target.id),
+			//wlanvet:allow the 802.11 Duration/ID field is 16 bits by spec; one exchange's NAV is far below 65535 µs
 			Duration: uint16(s.navDuration() / sim.Microsecond),
 		})
 		s.cfg.Trace.Frame(now, wire, false)
@@ -787,11 +825,13 @@ func (s *Simulator) ctsEnd(target *station) {
 			continue
 		}
 		s.onBusyStart(st)
+		//wlanvet:allow per-exchange, not per-frame: reservations are rare and overlapping NAV windows make a shared scratch buffer unsafe
 		navved = append(navved, st)
 	}
 	// The navved closure is the one remaining per-exchange allocation on
 	// the RTS/CTS path; reservations are rare relative to data frames
 	// and overlapping NAV windows make a shared scratch buffer unsafe.
+	//wlanvet:allow per-exchange, not per-frame: the NAV-release closure is the one deliberate RTS/CTS allocation, documented above
 	s.sched.After(s.navDuration(), func() {
 		for _, st := range navved {
 			s.onBusyEnd(st)
@@ -801,6 +841,8 @@ func (s *Simulator) ctsEnd(target *station) {
 }
 
 // reservedData transmits the data frame inside an RTS/CTS reservation.
+//
+//wlanvet:hotpath
 func (s *Simulator) reservedData(st *station) {
 	if st.state != stateAwaiting {
 		return
@@ -814,6 +856,8 @@ func (s *Simulator) reservedData(st *station) {
 }
 
 // ackBegin starts the AP's acknowledgement.
+//
+//wlanvet:hotpath
 func (s *Simulator) ackBegin(target *station) {
 	now := s.sched.Now()
 	if s.apTx {
@@ -834,6 +878,8 @@ func (s *Simulator) ackBegin(target *station) {
 
 // ackEnd completes a successful exchange: deliver the ACK (with the
 // control broadcast) and restart contention at the transmitter.
+//
+//wlanvet:hotpath
 func (s *Simulator) ackEnd(target *station) {
 	now := s.sched.Now()
 	s.apTx = false
@@ -887,6 +933,8 @@ func (s *Simulator) ackEnd(target *station) {
 }
 
 // failTimeout fires when the transmitter concludes its frame was lost.
+//
+//wlanvet:hotpath
 func (s *Simulator) failTimeout(st *station) {
 	st.failures++
 	st.retries++
@@ -901,6 +949,8 @@ func (s *Simulator) failTimeout(st *station) {
 
 // broadcastControl delivers the AP's current control block to every
 // active station.
+//
+//wlanvet:hotpath
 func (s *Simulator) broadcastControl() {
 	if s.cfg.Controller == nil {
 		return
@@ -914,6 +964,8 @@ func (s *Simulator) broadcastControl() {
 
 // apBusyStart/apBusyEnd maintain the AP-side medium view used for the
 // idle-slot statistic of Table III.
+//
+//wlanvet:hotpath
 func (s *Simulator) apBusyStart(now sim.Time) {
 	s.apBusy++
 	if s.apBusy == 1 {
@@ -923,6 +975,7 @@ func (s *Simulator) apBusyStart(now sim.Time) {
 	}
 }
 
+//wlanvet:hotpath
 func (s *Simulator) apBusyEnd(now sim.Time) {
 	s.apBusy--
 	if s.apBusy < 0 {
@@ -975,6 +1028,8 @@ func (s *Simulator) beaconTick() {
 // priority over every station's backoff — real 802.11 beacon behaviour —
 // so control information keeps flowing even during collision collapse,
 // when no ACKs exist to carry it.
+//
+//wlanvet:hotpath
 func (s *Simulator) tryBeacon() {
 	if !s.beaconDue || s.beaconWait.Active() || s.apTx || s.ackPending || s.apBusy > 0 {
 		return
@@ -983,6 +1038,8 @@ func (s *Simulator) tryBeacon() {
 }
 
 // beaconTx puts the beacon on the air.
+//
+//wlanvet:hotpath
 func (s *Simulator) beaconTx() {
 	s.beaconWait = sim.Ref{}
 	s.beaconDue = false
@@ -1003,6 +1060,8 @@ func (s *Simulator) beaconTx() {
 // beaconEnd completes the beacon. Beacons never overlap (tryBeacon bails
 // while apBusy > 0 and beaconDue stays false until the next tick), so
 // s.beaconSeq still identifies the frame that just finished.
+//
+//wlanvet:hotpath
 func (s *Simulator) beaconEnd() {
 	s.apTx = false
 	s.apBusyEnd(s.sched.Now())

@@ -33,8 +33,15 @@ type arrivalQueue struct {
 	head int
 }
 
-func (q *arrivalQueue) len() int        { return len(q.buf) - q.head }
-func (q *arrivalQueue) push(t sim.Time) { q.buf = append(q.buf, t) }
+func (q *arrivalQueue) len() int { return len(q.buf) - q.head }
+
+//wlanvet:hotpath
+func (q *arrivalQueue) push(t sim.Time) {
+	//wlanvet:allow amortised: the backing array grows to the queue high-water mark, then push reuses capacity (pop compacts in place)
+	q.buf = append(q.buf, t)
+}
+
+//wlanvet:hotpath
 func (q *arrivalQueue) pop() sim.Time {
 	v := q.buf[q.head]
 	q.head++

@@ -46,10 +46,12 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 	reg.GaugeFunc("wlansim_worker_utilization",
 		"Fraction of pool workers busy simulating (0..1).",
 		func() float64 {
+			//wlanvet:allow render-time observer: GaugeFunc bodies run at scrape time, never inside a replication
 			w := m.Workers.Value()
 			if w <= 0 {
 				return 0
 			}
+			//wlanvet:allow render-time observer: GaugeFunc bodies run at scrape time, never inside a replication
 			u := float64(m.InFlight.Value()) / float64(w)
 			if u > 1 {
 				u = 1
@@ -67,6 +69,7 @@ func (m *Metrics) begin() {
 	if m == nil {
 		return
 	}
+	//wlanvet:allow run-stamp wall clock: feeds only the events/sec scrape gauge, never simulation state (TestMetricsDoNotChangeOutput pins it)
 	m.startNanos.CompareAndSwap(0, time.Now().UnixNano())
 	m.InFlight.Inc()
 }
@@ -94,9 +97,11 @@ func (m *Metrics) EventsPerSecond() float64 {
 	if start == 0 {
 		return 0
 	}
+	//wlanvet:allow run-stamp wall clock: events/sec is a fact about this execution, computed at scrape time only
 	elapsed := time.Since(time.Unix(0, start)).Seconds()
 	if elapsed <= 0 {
 		return 0
 	}
+	//wlanvet:allow render-time observer: EventsPerSecond serves the scrape gauge, nothing simulation-side calls it
 	return float64(m.Events.Value()) / elapsed
 }

@@ -351,7 +351,7 @@ func (r *Runner) RunBatchFunc(ctx context.Context, specs []*Spec, done func(i in
 // replication is the raw outcome of one seeded run.
 type replication struct {
 	res         *eventsim.Result
-	hiddenPairs int
+	hiddenPairs int64
 	converged   float64 // bits/s after warmup
 	frames      int     // capture only
 	stJain      float64 // capture only
@@ -399,7 +399,7 @@ func runReplication(sp *Spec, rep int, ar *arena) (*replication, error) {
 	res := s.Run(sim.Duration(sp.Duration))
 	out := &replication{
 		res:         res,
-		hiddenPairs: int(tp.HiddenPairCount()),
+		hiddenPairs: tp.HiddenPairCount(),
 		converged:   res.ConvergedThroughput(sim.Duration(*sp.Warmup)),
 	}
 	if capWriter != nil {

@@ -69,6 +69,7 @@ func init() {
 // to the stdlib's Schrage form for every x in [0, 2³¹−1).
 func lfgSeedrand(x uint32) uint32 {
 	p := uint64(x) * lfgA
+	//wlanvet:allow deliberate mod-2³¹−1 Mersenne folding; residues are pinned draw-for-draw against math/rand by TestLFGMatchesStdlib
 	v := uint32(p&lfgM) + uint32(p>>31)
 	if v >= lfgM {
 		v -= lfgM
@@ -86,6 +87,7 @@ func lfgSeedStart(seed int64) uint32 {
 	if s == 0 {
 		s = 89482311
 	}
+	//wlanvet:allow deliberate truncation: math/rand's rngSource.Seed folds the seed mod 2³¹−1 the same way
 	x := uint32(s)
 	for i := 0; i < 20; i++ {
 		x = lfgSeedrand(x)

@@ -55,7 +55,7 @@ func TestBackoffTrackerDifferential(t *testing.T) {
 	const n = 48
 	tr.reset(n)
 	model := &naiveTracker{counters: map[int]int{}}
-	relative := func(id int) int { return model.counters[id] }
+	relative := func(id int) int64 { return int64(model.counters[id]) }
 
 	for step := 0; step < 20000; step++ {
 		switch op := rng.Intn(10); {
@@ -154,7 +154,7 @@ func TestMinCounterLargeOverflowExpiry(t *testing.T) {
 	}
 
 	// Empty tracker still reports maxInt.
-	tr.remove(0, int(farCounter-100))
+	tr.remove(0, farCounter-100)
 	if got := tr.minCounter(); got != maxInt {
 		t.Fatalf("minCounter = %d on empty tracker, want maxInt", got)
 	}

@@ -345,11 +345,13 @@ func (s *Simulator) Run(duration sim.Duration) *Result {
 			// next controller-window boundary so the windowed series
 			// closes at exactly the same instants as the per-slot walk.
 			jump := s.tracker.minCounter()
+			//wlanvet:allow bounded: the window boundary is within one run and spec validation caps durations far below 2³¹ slots
 			if boundary := int((s.nextWindow.Sub(s.now) + s.cfg.PHY.Slot - 1) / s.cfg.PHY.Slot); boundary >= 1 && boundary < jump {
 				jump = boundary
 			}
 			// Cap at the run end too: the per-slot walk stops at the
 			// first slot boundary ≥ end, and Duration must match it.
+			//wlanvet:allow bounded: the run end is within one run and spec validation caps durations far below 2³¹ slots
 			if endSlots := int((end.Sub(s.now) + s.cfg.PHY.Slot - 1) / s.cfg.PHY.Slot); endSlots >= 1 && endSlots < jump {
 				jump = endSlots
 			}
@@ -418,6 +420,8 @@ func (s *Simulator) Run(duration sim.Duration) *Result {
 }
 
 // track registers station i's freshly drawn counter with the tracker.
+//
+//wlanvet:hotpath
 func (s *Simulator) track(i, counter int) {
 	st := &s.stations[i]
 	st.counter = counter
@@ -426,15 +430,19 @@ func (s *Simulator) track(i, counter int) {
 }
 
 // untrack removes station i from the tracker.
+//
+//wlanvet:hotpath
 func (s *Simulator) untrack(i int) {
 	st := &s.stations[i]
-	s.tracker.remove(i, int(st.expiry-s.tracker.base))
+	s.tracker.remove(i, st.expiry-s.tracker.base)
 }
 
 // observe feeds medium-observing policies (IdleSense) the idle run that
 // preceded the busy period just starting. The pass walks only the
 // observing stations (ascending, the same call order as the full scan it
 // replaces) and costs nothing when no policy observes the medium.
+//
+//wlanvet:hotpath
 func (s *Simulator) observe(idleRun int64) {
 	for _, i := range s.observerIdx {
 		s.stations[i].observer.ObserveTransmission(float64(idleRun))
@@ -445,6 +453,8 @@ func (s *Simulator) observe(idleRun int64) {
 // been taken out of the tracker with the expired bucket) and re-tracks
 // it while it remains backlogged. The draw is consumed regardless — the
 // pre-tracker code drew unconditionally, and every draw is pinned.
+//
+//wlanvet:hotpath
 func (s *Simulator) redraw(i int) {
 	st := &s.stations[i]
 	c := st.policy.NextBackoff(st.rng)
@@ -461,6 +471,8 @@ func (s *Simulator) redraw(i int) {
 // their tracker position — untouched, making this pass free for DCF.
 // attackers lists the stations that transmitted (already redrawn by
 // their outcome paths), sorted ascending.
+//
+//wlanvet:hotpath
 func (s *Simulator) resume(attackers []int) {
 	k := 0
 	for _, i32 := range s.memorylessIdx {
@@ -487,6 +499,8 @@ func (s *Simulator) resume(attackers []int) {
 // unsaturated stations are visited (ascending — the admission order the
 // full scan produced), so a mostly saturated large-n population pays
 // nothing here.
+//
+//wlanvet:hotpath
 func (s *Simulator) admitArrivals() {
 	for _, i32 := range s.unsatIdx {
 		i := int(i32)
@@ -511,6 +525,8 @@ func (s *Simulator) admitArrivals() {
 
 // slotsUntilArrival returns the number of whole slots from now until the
 // earliest pending arrival among unsaturated stations (minimum 1).
+//
+//wlanvet:hotpath
 func (s *Simulator) slotsUntilArrival() int {
 	earliest := sim.Time(int64(^uint64(0) >> 1))
 	found := false
@@ -524,7 +540,17 @@ func (s *Simulator) slotsUntilArrival() int {
 	if !found {
 		return 0
 	}
-	slots := int((earliest.Sub(s.now) + s.cfg.PHY.Slot - 1) / s.cfg.PHY.Slot)
+	// Compare in int64 and clamp on conversion: a low-rate arrival can
+	// sit billions of slots out, the delta magnitude that wrapped
+	// through int in the PR 7 minCounter bug. Callers cap the jump at
+	// window and run-end boundaries anyway.
+	d := int64((earliest.Sub(s.now) + s.cfg.PHY.Slot - 1) / s.cfg.PHY.Slot)
+	const maxInt = int(^uint(0) >> 1)
+	if d > int64(maxInt) {
+		d = int64(maxInt)
+	}
+	//wlanvet:allow guarded: d ≤ maxInt after the clamp above
+	slots := int(d)
 	if slots < 1 {
 		slots = 1
 	}

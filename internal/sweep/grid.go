@@ -112,6 +112,7 @@ type fieldDef struct {
 // later, in Spec.withDefaults via Expand, so setters only assign.
 var fieldDefs = map[string]fieldDef{
 	FieldNodes: {intKind, func(sp *scenario.Spec, v any) error {
+		//wlanvet:allow bounded: Spec.withDefaults validation rejects node counts outside [1, MaxStations] before any simulation runs
 		sp.Topology.N = int(v.(int64))
 		return nil
 	}},
@@ -153,6 +154,7 @@ var fieldDefs = map[string]fieldDef{
 		return nil
 	}},
 	FieldSeeds: {intKind, func(sp *scenario.Spec, v any) error {
+		//wlanvet:allow bounded: Spec.withDefaults validation rejects non-positive or absurd seed counts before any simulation runs
 		sp.Seeds = int(v.(int64))
 		return nil
 	}},
@@ -213,14 +215,28 @@ func Durations(vs ...time.Duration) []json.RawMessage {
 	return out
 }
 
+// fieldNames lists the sweepable axis fields in sorted order, statically
+// rather than by ranging fieldDefs: the list feeds user-facing error
+// text, which must not depend on map iteration order.
+// TestFieldsMatchDefs pins it against the fieldDefs keys.
+var fieldNames = []string{
+	FieldDuration,
+	FieldFrameErrorRate,
+	FieldNodes,
+	FieldRadius,
+	FieldRate,
+	FieldRTSCTS,
+	FieldScheme,
+	FieldSeed,
+	FieldSeeds,
+	FieldSeparation,
+	FieldTopology,
+	FieldUpdatePeriod,
+}
+
 // Fields returns the sweepable axis field names, sorted.
 func Fields() []string {
-	out := make([]string, 0, len(fieldDefs))
-	for f := range fieldDefs {
-		out = append(out, f)
-	}
-	slices.Sort(out)
-	return out
+	return slices.Clone(fieldNames)
 }
 
 // decodeValue parses one axis value as the field's type. Ints must be

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"slices"
 	"strings"
 	"testing"
 	"time"
@@ -276,5 +277,48 @@ func TestValueHelpersRoundTrip(t *testing.T) {
 	want := "h/nodes=3,scheme=802.11,frame_error_rate=0,rtscts=false,duration=500ms"
 	if pts[0].Name != want {
 		t.Errorf("name %q, want %q", pts[0].Name, want)
+	}
+}
+
+// TestFieldsMatchDefs pins the static sorted fieldNames list against
+// the fieldDefs map: adding a sweepable field to one without the other
+// fails here, and the sorted order is what user-facing error text
+// depends on.
+func TestFieldsMatchDefs(t *testing.T) {
+	fields := Fields()
+	if !slices.IsSorted(fields) {
+		t.Errorf("Fields() not sorted: %v", fields)
+	}
+	defs := make([]string, 0, len(fieldDefs))
+	for f := range fieldDefs {
+		defs = append(defs, f)
+	}
+	slices.Sort(defs)
+	if !slices.Equal(fields, defs) {
+		t.Errorf("Fields() = %v,\nfieldDefs keys = %v", fields, defs)
+	}
+}
+
+// TestUnknownFieldErrorTextDeterministic pins the exact unknown-field
+// message: the field list must be sorted, never map-iteration order, so
+// scripts and CI logs diffing against it stay stable across runs.
+func TestUnknownFieldErrorTextDeterministic(t *testing.T) {
+	const data = `{"base": {"topology": {"kind": "connected", "n": 3}},
+	  "axes": [{"field": "warp", "values": [1]}]}`
+	want := `invalid sweep grid: sweep: axis 0: unknown field "warp" (want one of ` +
+		"duration, frame_error_rate, nodes, radius, rate, rtscts, " +
+		"scheme, seed, seeds, separation, topology, update_period)"
+	for i := 0; i < 10; i++ {
+		g, err := Decode([]byte(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Expand(g)
+		if err == nil {
+			t.Fatal("unknown field accepted")
+		}
+		if err.Error() != want {
+			t.Fatalf("error text:\n got %q\nwant %q", err, want)
+		}
 	}
 }

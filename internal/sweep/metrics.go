@@ -43,7 +43,9 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 	reg.GaugeFunc("wlansim_sweep_cache_hit_rate",
 		"Fraction of satisfied sweep points served from the cache (0..1).",
 		func() float64 {
+			//wlanvet:allow render-time observer: the hit-rate GaugeFunc runs at scrape time, never inside the sweep loop
 			hit := m.PointsCached.Value()
+			//wlanvet:allow render-time observer: the hit-rate GaugeFunc runs at scrape time, never inside the sweep loop
 			total := hit + m.PointsSimulated.Value()
 			if total == 0 {
 				return 0
