@@ -8,5 +8,5 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
-	analyzertest.Run(t, determinism.Analyzer, "slotsim", "util")
+	analyzertest.Run(t, determinism.Analyzer, "slotsim", "svc", "util")
 }

@@ -1,0 +1,45 @@
+// Package svc is determinism-analyzer testdata for the SimExempt
+// escape: its directory name matches the sweep-service control plane,
+// which legitimately lives on wall clocks and timers. Every construct
+// below is a finding inside the determinism boundary — here, none may
+// be reported (zero want comments is the assertion).
+package svc
+
+import (
+	"math/rand"
+	"time"
+)
+
+// leaseDeadline is the exempt package's bread and butter: TTL
+// arithmetic against the wall clock.
+func leaseDeadline(ttl time.Duration) time.Time { return time.Now().Add(ttl) }
+
+// heartbeatLoop runs a real timer — unthinkable in sim-critical code,
+// definitional for a lease protocol.
+func heartbeatLoop(done chan struct{}, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// jitteredBackoff de-correlates worker retries; sharing the process
+// RNG is fine because nothing here feeds a result byte.
+func jitteredBackoff(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// activeWorkers leaks map iteration order into a slice — harmless in a
+// log line about lease bookkeeping.
+func activeWorkers(leases map[string]string) []string {
+	var ws []string
+	for _, w := range leases {
+		ws = append(ws, w)
+	}
+	return ws
+}

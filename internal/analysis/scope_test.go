@@ -1,0 +1,33 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestSimExemptDisjointFromSimCritical pins the boundary bookkeeping:
+// a package is inside the determinism contract or explicitly exempted
+// with a reason, never both. The exemption winning inside
+// SimCriticalPkg makes a double entry silent, so the sets themselves
+// must stay disjoint.
+func TestSimExemptDisjointFromSimCritical(t *testing.T) {
+	for base := range SimExempt {
+		if SimCritical[base] {
+			t.Errorf("package base %q is in both SimCritical and SimExempt", base)
+		}
+		if SimExempt[base] == "" {
+			t.Errorf("SimExempt[%q] has no reason on record", base)
+		}
+	}
+}
+
+// TestSimExemptWins pins that an exemption overrides a (mistaken)
+// SimCritical entry rather than silently losing to it.
+func TestSimExemptWins(t *testing.T) {
+	SimCritical["svc"] = true
+	defer delete(SimCritical, "svc")
+	p := &Pass{Pkg: types.NewPackage("repro/internal/svc", "svc")}
+	if SimCriticalPkg(p) {
+		t.Error("SimCriticalPkg = true for an exempt package")
+	}
+}

@@ -1,0 +1,112 @@
+// Package chaos is the fault-injection layer the sweep service's
+// robustness claims are tested against. It wraps an http.RoundTripper
+// with seeded, reproducible failure decisions:
+//
+//   - drop-request: the request fails before it reaches the server —
+//     the classic connection error. The server never sees it.
+//   - drop-response: the server processes the request fully, but the
+//     client sees a transport error instead of the answer. This is the
+//     nastier fault — it forces the client to retransmit something that
+//     already happened, which is precisely what the coordinator's
+//     idempotent completion path exists to absorb.
+//   - partition: a switch that fails every request until healed,
+//     modelling a network split between one worker and the coordinator.
+//
+// Decisions come from a private seeded PRNG, so a given seed yields the
+// same fault schedule for the same request sequence — chaos tests are
+// reproducible, not flaky.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the root of every fault this package injects;
+// errors.Is(err, chaos.ErrInjected) distinguishes scheduled faults from
+// real ones in test assertions.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Transport is a fallible http.RoundTripper.
+type Transport struct {
+	// Base performs the real round trips (http.DefaultTransport when
+	// nil).
+	Base http.RoundTripper
+	// DropRequestProb is the probability a request fails before being
+	// sent; DropResponseProb the probability a successfully processed
+	// response is discarded on the way back.
+	DropRequestProb  float64
+	DropResponseProb float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	partitioned atomic.Bool
+
+	// Fault counters, for asserting a schedule actually fired.
+	droppedRequests  atomic.Int64
+	droppedResponses atomic.Int64
+	partitionedCalls atomic.Int64
+}
+
+// NewTransport returns a fallible transport with a seeded fault
+// schedule over base.
+func NewTransport(seed int64, base http.RoundTripper) *Transport {
+	return &Transport{Base: base, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Partition opens (true) or heals (false) the simulated network split.
+func (t *Transport) Partition(split bool) { t.partitioned.Store(split) }
+
+// DroppedRequests reports requests failed before reaching the server.
+func (t *Transport) DroppedRequests() int { return int(t.droppedRequests.Load()) }
+
+// DroppedResponses reports responses discarded after the server
+// processed the request.
+func (t *Transport) DroppedResponses() int { return int(t.droppedResponses.Load()) }
+
+// PartitionedCalls reports requests refused while partitioned.
+func (t *Transport) PartitionedCalls() int { return int(t.partitionedCalls.Load()) }
+
+// roll draws one uniform [0,1) variate from the seeded schedule.
+func (t *Transport) roll() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rng.Float64()
+}
+
+// RoundTrip implements http.RoundTripper with the fault schedule
+// applied around the base transport.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.partitioned.Load() {
+		t.partitionedCalls.Add(1)
+		return nil, fmt.Errorf("%w: partitioned: %s %s unreachable", ErrInjected, req.Method, req.URL.Path)
+	}
+	if t.DropRequestProb > 0 && t.roll() < t.DropRequestProb {
+		t.droppedRequests.Add(1)
+		return nil, fmt.Errorf("%w: request dropped: %s %s", ErrInjected, req.Method, req.URL.Path)
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.DropResponseProb > 0 && t.roll() < t.DropResponseProb {
+		// The server has fully processed the request; make sure the
+		// body is consumed so the connection can be reused, then lose
+		// the answer.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.droppedResponses.Add(1)
+		return nil, fmt.Errorf("%w: response dropped: %s %s", ErrInjected, req.Method, req.URL.Path)
+	}
+	return resp, nil
+}

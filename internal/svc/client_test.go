@@ -1,0 +1,117 @@
+package svc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// fastClient is a test client with sub-millisecond backoff.
+func fastClient(url string) *Client {
+	return &Client{
+		BaseURL:        url,
+		MaxAttempts:    3,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     2 * time.Millisecond,
+		AttemptTimeout: time.Second,
+	}
+}
+
+// TestClientRetriesInternalThenSucceeds pins the retry policy's happy
+// recovery: internal (5xx) answers are retried and the eventual success
+// is returned, with each retry counted.
+func TestClientRetriesInternalThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			writeError(w, errors.New("cache briefly unwritable"))
+			return
+		}
+		json.NewEncoder(w).Encode(&HeartbeatResponse{TTLMS: 1234})
+	}))
+	defer srv.Close()
+	cl := fastClient(srv.URL)
+	cl.Metrics = NewWorkerMetrics(metrics.NewRegistry())
+	resp, err := cl.Heartbeat(context.Background(), &HeartbeatRequest{LeaseID: "lease-1"})
+	if err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	if resp.TTLMS != 1234 || calls.Load() != 3 {
+		t.Errorf("resp %+v after %d calls", resp, calls.Load())
+	}
+	if got := cl.Metrics.Retries.Value(); got != 2 {
+		t.Errorf("retries counted %d, want 2", got)
+	}
+}
+
+// TestClientProtocolErrorsAreTerminal pins that an answered request is
+// never retried: each wire code surfaces immediately as its sentinel
+// after exactly one attempt.
+func TestClientProtocolErrorsAreTerminal(t *testing.T) {
+	cases := []struct {
+		code string
+		want error
+	}{
+		{codeLeaseExpired, ErrLeaseExpired},
+		{codeUnknownLease, ErrUnknownLease},
+		{codeDraining, ErrDraining},
+	}
+	for _, tc := range cases {
+		t.Run(tc.code, func(t *testing.T) {
+			var calls atomic.Int64
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				calls.Add(1)
+				w.WriteHeader(httpStatus(tc.code))
+				json.NewEncoder(w).Encode(&errorResponse{Error: apiError{Code: tc.code, Message: "no"}})
+			}))
+			defer srv.Close()
+			_, err := fastClient(srv.URL).Heartbeat(context.Background(), &HeartbeatRequest{LeaseID: "x"})
+			if !errors.Is(err, tc.want) {
+				t.Errorf("err %v, want %v", err, tc.want)
+			}
+			if calls.Load() != 1 {
+				t.Errorf("%d attempts on a terminal answer, want 1", calls.Load())
+			}
+		})
+	}
+}
+
+// TestClientExhaustionIsCoordinatorUnavailable pins the budget's end:
+// a coordinator that never answers folds into
+// ErrCoordinatorUnavailable wrapping the last transport failure.
+func TestClientExhaustionIsCoordinatorUnavailable(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // nothing is listening anymore
+	_, err := fastClient(srv.URL).Lease(context.Background(), &LeaseRequest{WorkerID: "w"})
+	if !errors.Is(err, ErrCoordinatorUnavailable) {
+		t.Fatalf("err %v, want ErrCoordinatorUnavailable", err)
+	}
+}
+
+// TestClientCancellationBeatsTheBudget pins that a cancelled context
+// aborts the retry loop promptly instead of draining the attempt
+// budget.
+func TestClientCancellationBeatsTheBudget(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cl := fastClient(srv.URL)
+	cl.MaxAttempts = 1000
+	cl.BaseBackoff = time.Hour // would hang if the budget were drained
+	start := time.Now()
+	_, err := cl.Lease(ctx, &LeaseRequest{WorkerID: "w"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancelled call did not return promptly")
+	}
+}

@@ -1,0 +1,361 @@
+package svc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+// fakeClock is a hand-advanced clock for driving lease expiry without
+// sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+// testGrid is a small all-connected sweep over station counts: real
+// simulations, tens of milliseconds each.
+func testGrid(name string, nodes ...int) *sweep.Grid {
+	return &sweep.Grid{
+		Name: name,
+		Base: scenario.Spec{
+			Topology: scenario.TopologySpec{Kind: scenario.TopoConnected},
+			Duration: scenario.Duration(50e6),
+		},
+		Axes: []sweep.Axis{{Field: sweep.FieldNodes, Values: sweep.Ints(nodes...)}},
+	}
+}
+
+// simulateLease runs a leased batch exactly like a worker would and
+// returns the completion request.
+func simulateLease(t *testing.T, r *scenario.Runner, l *LeaseResponse) *CompleteRequest {
+	t.Helper()
+	specs := make([]*scenario.Spec, len(l.Points))
+	for i, lp := range l.Points {
+		sp := &scenario.Spec{}
+		if err := json.Unmarshal(lp.Spec, sp); err != nil {
+			t.Fatalf("unmarshal leased spec %d: %v", lp.Index, err)
+		}
+		specs[i] = sp
+	}
+	sums, err := r.RunBatch(context.Background(), specs)
+	if err != nil {
+		t.Fatalf("simulate leased batch: %v", err)
+	}
+	req := &CompleteRequest{LeaseID: l.LeaseID, WorkerID: "test-worker", Points: make([]CompletedPoint, len(sums))}
+	for i, sum := range sums {
+		data, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Points[i] = CompletedPoint{Index: l.Points[i].Index, Key: l.Points[i].Key, Summary: data}
+	}
+	return req
+}
+
+// drainCampaign leases and completes until the coordinator reports
+// done, like a single dutiful worker.
+func drainCampaign(t *testing.T, c *Coordinator, r *scenario.Runner) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		l, err := c.lease(&LeaseRequest{WorkerID: "test-worker"})
+		if err != nil {
+			t.Fatalf("lease: %v", err)
+		}
+		if l.Done {
+			return
+		}
+		if len(l.Points) == 0 {
+			t.Fatal("lease granted no points on an unfinished campaign with no other workers")
+		}
+		if _, err := c.complete(simulateLease(t, r, l)); err != nil {
+			t.Fatalf("complete: %v", err)
+		}
+	}
+	t.Fatal("campaign did not finish in 1000 leases")
+}
+
+// TestCoordinatorMergeMatchesSingleMachine is the heart of the
+// contract: a campaign driven entirely through the lease/complete wire
+// shapes produces the same bytes as sweep.Runner on one machine.
+func TestCoordinatorMergeMatchesSingleMachine(t *testing.T) {
+	g := testGrid("svc-merge", 2, 3, 4, 5, 6)
+
+	var ref bytes.Buffer
+	if _, err := (&sweep.Runner{}).Stream(context.Background(), g, &ref); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCoordinator(CoordinatorConfig{Grid: g, MaxBatch: 2, Now: newFakeClock().Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &scenario.Runner{}
+	defer r.Close()
+	drainCampaign(t, c, r)
+
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("campaign drained but Done() is not closed")
+	}
+	if got := c.RowsSnapshot(); !bytes.Equal(got, ref.Bytes()) {
+		t.Errorf("merged rows differ from single-machine run:\ncoordinator:\n%s\nsingle-machine:\n%s", got, ref.Bytes())
+	}
+	st := c.Stats()
+	if st.Completed != 5 || st.RowsEmitted != 5 || st.Duplicates != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// TestCoordinatorCompletionsAreIdempotent replays a completion batch —
+// the lost-response retransmit — and checks it is absorbed, not
+// double-counted.
+func TestCoordinatorCompletionsAreIdempotent(t *testing.T) {
+	g := testGrid("svc-idem", 2, 3)
+	c, err := NewCoordinator(CoordinatorConfig{Grid: g, MaxBatch: 2, Now: newFakeClock().Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &scenario.Runner{}
+	defer r.Close()
+	l, err := c.lease(&LeaseRequest{WorkerID: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := simulateLease(t, r, l)
+	first, err := c.complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Accepted != 2 || first.Duplicates != 0 || !first.Done {
+		t.Fatalf("first completion: %+v", first)
+	}
+	rows := c.RowsSnapshot()
+	again, err := c.complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Accepted != 0 || again.Duplicates != 2 {
+		t.Fatalf("replayed completion: %+v", again)
+	}
+	if !bytes.Equal(rows, c.RowsSnapshot()) {
+		t.Error("replayed completion changed the output stream")
+	}
+	if st := c.Stats(); st.Completed != 2 || st.Duplicates != 2 || st.RowsEmitted != 2 {
+		t.Errorf("stats after replay: %+v", st)
+	}
+}
+
+// TestCoordinatorExpiryReissuesAndAbsorbsLateCompletion kills a worker
+// by silence: its lease lapses, the points reissue under a fresh lease,
+// and when the "dead" worker's completion finally arrives it lands as
+// a duplicate (or as the first copy, if it beats the reissued one) —
+// either way each row is emitted exactly once.
+func TestCoordinatorExpiryReissuesAndAbsorbsLateCompletion(t *testing.T) {
+	clock := newFakeClock()
+	g := testGrid("svc-reissue", 2, 3)
+	c, err := NewCoordinator(CoordinatorConfig{Grid: g, MaxBatch: 1, LeaseTTL: 10 * time.Second, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &scenario.Runner{}
+	defer r.Close()
+
+	stale, err := c.lease(&LeaseRequest{WorkerID: "doomed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleReq := simulateLease(t, r, stale) // simulated, never submitted in time
+
+	clock.Advance(10*time.Second + time.Millisecond)
+	if _, err := c.heartbeat(&HeartbeatRequest{LeaseID: stale.LeaseID}); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("heartbeat on lapsed lease: %v, want ErrLeaseExpired", err)
+	}
+
+	reissued, err := c.lease(&LeaseRequest{WorkerID: "healthy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reissued.Points) != 1 || reissued.Points[0].Index != stale.Points[0].Index {
+		t.Fatalf("expected point %d reissued, got %+v", stale.Points[0].Index, reissued.Points)
+	}
+	if st := c.Stats(); st.LeasesExpired != 1 || st.Reissued != 1 {
+		t.Fatalf("stats after expiry: %+v", st)
+	}
+
+	// The healthy worker wins; the dead worker's completion arrives late.
+	if _, err := c.complete(simulateLease(t, r, reissued)); err != nil {
+		t.Fatal(err)
+	}
+	late, err := c.complete(staleReq)
+	if err != nil {
+		t.Fatalf("late completion must be accepted idempotently, got %v", err)
+	}
+	if late.Accepted != 0 || late.Duplicates != 1 {
+		t.Fatalf("late completion: %+v", late)
+	}
+
+	// Finish and verify single emission per row.
+	drainCampaign(t, c, r)
+	if st := c.Stats(); st.RowsEmitted != 2 || st.Completed != 2 {
+		t.Errorf("final stats: %+v", st)
+	}
+}
+
+// TestCoordinatorReissueBudgetFailsCampaign pins the circuit breaker: a
+// point that expires out of every lease eventually fails the campaign
+// instead of reissuing forever.
+func TestCoordinatorReissueBudgetFailsCampaign(t *testing.T) {
+	clock := newFakeClock()
+	g := testGrid("svc-poison", 2)
+	c, err := NewCoordinator(CoordinatorConfig{Grid: g, MaxBatch: 1, MaxReissues: 2, LeaseTTL: time.Second, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		if i > 10 {
+			t.Fatal("campaign never failed")
+		}
+		l, err := c.lease(&LeaseRequest{WorkerID: "crashy"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Failed {
+			break
+		}
+		clock.Advance(time.Second + time.Millisecond) // never heartbeat, never complete
+	}
+	if err := c.Err(); !errors.Is(err, ErrCampaignFailed) {
+		t.Fatalf("Err() = %v, want ErrCampaignFailed", err)
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Error("failed campaign must close Done()")
+	}
+}
+
+// TestCoordinatorDrainRefusesLeasesAndPersistsState covers graceful
+// shutdown: draining refuses new leases with the typed sentinel, honors
+// in-flight completions, and persists the queue snapshot.
+func TestCoordinatorDrainRefusesLeasesAndPersistsState(t *testing.T) {
+	clock := newFakeClock()
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	g := testGrid("svc-drain", 2, 3, 4)
+	c, err := NewCoordinator(CoordinatorConfig{Grid: g, MaxBatch: 1, LeaseTTL: time.Second, Now: clock.Now, StatePath: statePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &scenario.Runner{}
+	defer r.Close()
+
+	inflight, err := c.lease(&LeaseRequest{WorkerID: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- c.Drain(context.Background()) }()
+
+	// Wait for draining to take effect (status is read-only), then
+	// check that new leases are refused while the in-flight one can
+	// still complete.
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.status().Draining {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.lease(&LeaseRequest{WorkerID: "late"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("lease during drain: %v, want ErrDraining", err)
+	}
+	if resp, err := c.complete(simulateLease(t, r, inflight)); err != nil || resp.Accepted != 1 {
+		t.Fatalf("in-flight completion during drain: %+v, %v", resp, err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	data, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatalf("drain did not persist state: %v", err)
+	}
+	var st campaignState
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Fingerprint != sweep.GridFingerprint(g) || len(st.Pending) != 2 {
+		t.Errorf("persisted state: %+v", st)
+	}
+}
+
+// TestCoordinatorResumesFromCacheWithoutResimulating restarts a
+// campaign over a warm cache: every committed point must be satisfied
+// before any lease is granted, and the merged bytes must match the
+// first run's exactly.
+func TestCoordinatorResumesFromCacheWithoutResimulating(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := sweep.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGrid("svc-resume", 2, 3, 4)
+	c1, err := NewCoordinator(CoordinatorConfig{Grid: g, Cache: cache, MaxBatch: 2, Now: newFakeClock().Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &scenario.Runner{}
+	defer r.Close()
+	drainCampaign(t, c1, r)
+	rows := c1.RowsSnapshot()
+
+	cache2, err := sweep.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCoordinator(CoordinatorConfig{Grid: g, Cache: cache2, Now: newFakeClock().Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c2.Stats()
+	if st.Cached != 3 || st.Completed != 0 {
+		t.Fatalf("resume stats: %+v (want everything cached, nothing simulated)", st)
+	}
+	select {
+	case <-c2.Done():
+	default:
+		t.Fatal("fully cached campaign must be done at construction")
+	}
+	l, err := c2.lease(&LeaseRequest{WorkerID: "w"})
+	if err != nil || !l.Done || len(l.Points) != 0 {
+		t.Fatalf("lease on finished campaign: %+v, %v", l, err)
+	}
+	if !bytes.Equal(rows, c2.RowsSnapshot()) {
+		t.Error("resumed campaign's rows differ from the original run")
+	}
+}

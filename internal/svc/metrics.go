@@ -1,0 +1,88 @@
+package svc
+
+import "repro/internal/metrics"
+
+// Metrics is the coordinator's instrumentation: lease and worker
+// gauges plus point-satisfaction counters, registered on an
+// internal/metrics Registry and served from the coordinator's own
+// /metrics endpoint. Like every metric set in the repository it is a
+// pure observer — the campaign's merged rows are byte-identical with
+// or without it.
+type Metrics struct {
+	// LeasesActive gauges leases currently in flight.
+	LeasesActive *metrics.Gauge
+	// WorkersActive gauges distinct workers holding an active lease.
+	WorkersActive *metrics.Gauge
+	// PointsPending gauges queued points not yet leased or satisfied.
+	PointsPending *metrics.Gauge
+	// LeasesGranted counts leases issued over the campaign's lifetime.
+	LeasesGranted *metrics.Counter
+	// LeasesExpired counts leases that lapsed without completing.
+	LeasesExpired *metrics.Counter
+	// PointsReissued counts points reclaimed from expired leases and
+	// returned to the queue (one point can be reissued repeatedly).
+	PointsReissued *metrics.Counter
+	// PointsCompleted counts points newly satisfied by a worker
+	// completion — the distributed analogue of points_simulated.
+	PointsCompleted *metrics.Counter
+	// PointsCached counts points satisfied from the content-addressed
+	// cache at campaign start (resume hits).
+	PointsCached *metrics.Counter
+	// DuplicateCompletions counts late or repeated completions that
+	// were acknowledged but not re-recorded — each one is a lease
+	// reissue or retransmit the idempotency layer absorbed.
+	DuplicateCompletions *metrics.Counter
+	// RowsEmitted counts canonical rows released to the output stream.
+	RowsEmitted *metrics.Counter
+}
+
+// NewMetrics registers the coordinator metric set on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		LeasesActive: reg.Gauge("wlansvc_leases_active",
+			"Point leases currently held by workers."),
+		WorkersActive: reg.Gauge("wlansvc_workers_active",
+			"Distinct workers holding at least one active lease."),
+		PointsPending: reg.Gauge("wlansvc_points_pending",
+			"Campaign points queued, not yet leased or satisfied."),
+		LeasesGranted: reg.Counter("wlansvc_leases_granted_total",
+			"Point leases granted to workers."),
+		LeasesExpired: reg.Counter("wlansvc_leases_expired_total",
+			"Leases that expired before their worker completed them."),
+		PointsReissued: reg.Counter("wlansvc_points_reissued_total",
+			"Points reclaimed from expired leases and requeued."),
+		PointsCompleted: reg.Counter("wlansvc_points_completed_total",
+			"Points newly satisfied by worker completions."),
+		PointsCached: reg.Counter("wlansvc_points_cached_total",
+			"Points satisfied from the content-addressed cache at startup."),
+		DuplicateCompletions: reg.Counter("wlansvc_duplicate_completions_total",
+			"Late or repeated point completions absorbed idempotently."),
+		RowsEmitted: reg.Counter("wlansvc_rows_emitted_total",
+			"Canonical result rows released to the output stream."),
+	}
+}
+
+// WorkerMetrics is the worker-side instrumentation, registered on the
+// worker process's own Registry.
+type WorkerMetrics struct {
+	// PointsSimulated counts points this worker simulated to
+	// completion (whether or not the coordinator recorded them first).
+	PointsSimulated *metrics.Counter
+	// Retries counts control-plane requests that needed at least one
+	// retry before an answer arrived.
+	Retries *metrics.Counter
+	// LeaseRequests counts lease round-trips.
+	LeaseRequests *metrics.Counter
+}
+
+// NewWorkerMetrics registers the worker metric set on reg.
+func NewWorkerMetrics(reg *metrics.Registry) *WorkerMetrics {
+	return &WorkerMetrics{
+		PointsSimulated: reg.Counter("wlansvc_worker_points_simulated_total",
+			"Sweep points this worker simulated to completion."),
+		Retries: reg.Counter("wlansvc_worker_retries_total",
+			"Control-plane requests retried after a transport failure."),
+		LeaseRequests: reg.Counter("wlansvc_worker_lease_requests_total",
+			"Lease requests sent to the coordinator."),
+	}
+}

@@ -1,0 +1,204 @@
+package svc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// The wire protocol of the sweep service: small JSON request/response
+// pairs over HTTP POST (plus two GET read paths). The shapes are
+// deliberately boring — every field is either a number, a string, or a
+// raw JSON payload that round-trips byte-exactly through the scenario
+// and summary encoders — because the correctness contract downstream
+// (byte-identical merged rows) leaves no room for lossy re-encoding.
+//
+//	POST /v1/lease      LeaseRequest      -> LeaseResponse
+//	POST /v1/heartbeat  HeartbeatRequest  -> HeartbeatResponse
+//	POST /v1/complete   CompleteRequest   -> CompleteResponse
+//	GET  /v1/rows                         -> canonical JSONL prefix
+//	GET  /v1/status                       -> StatusResponse
+//	GET  /metrics                         -> Prometheus text format
+//
+// Errors travel as an errorResponse envelope with a machine-readable
+// code; the client maps codes back onto the package's typed sentinels.
+
+// LeaseRequest asks the coordinator for a batch of points to simulate.
+type LeaseRequest struct {
+	// WorkerID identifies the worker in logs and metrics; it does not
+	// authenticate (the control plane trusts its network).
+	WorkerID string `json:"worker_id"`
+	// MaxPoints caps the batch size the worker wants; the coordinator
+	// may grant fewer (and caps it at its own MaxBatch).
+	MaxPoints int `json:"max_points"`
+}
+
+// LeasePoint is one leased unit of work: everything a worker needs to
+// simulate the point and complete it idempotently.
+type LeasePoint struct {
+	// Index is the point's position in grid-expansion order — the
+	// merge key of its row.
+	Index int `json:"index"`
+	// Name is the canonical point name.
+	Name string `json:"name"`
+	// Key is the point's content-addressed cache key; completions are
+	// keyed on it, which is what makes duplicates detectable.
+	Key string `json:"key"`
+	// Spec is the fully defaulted, validated scenario spec as JSON.
+	Spec json.RawMessage `json:"spec"`
+}
+
+// LeaseResponse grants a lease (or reports there is nothing to grant).
+type LeaseResponse struct {
+	// LeaseID names the lease for heartbeats and completions. Empty
+	// when no points were granted.
+	LeaseID string `json:"lease_id,omitempty"`
+	// TTLMS is the lease's time-to-live in milliseconds; a heartbeat
+	// resets the clock. A lease not renewed within the TTL expires and
+	// its points return to the queue.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+	// Points is the granted batch, in ascending index order.
+	Points []LeasePoint `json:"points,omitempty"`
+	// Done reports that the campaign is complete: every point is
+	// satisfied and the worker can exit.
+	Done bool `json:"done"`
+	// Failed reports that the coordinator abandoned the campaign (see
+	// ErrCampaignFailed); workers should exit rather than poll.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// HeartbeatRequest renews a lease.
+type HeartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// HeartbeatResponse confirms the renewal.
+type HeartbeatResponse struct {
+	// TTLMS is the renewed time-to-live in milliseconds.
+	TTLMS int64 `json:"ttl_ms"`
+}
+
+// CompletedPoint reports one simulated point.
+type CompletedPoint struct {
+	// Index is the point's grid-expansion index.
+	Index int `json:"index"`
+	// Key must equal the leased point's cache key; it is the
+	// idempotency token a duplicate or late completion is judged by.
+	Key string `json:"key"`
+	// Summary is the aggregate scenario summary as JSON, exactly as
+	// the worker's encoder produced it.
+	Summary json.RawMessage `json:"summary"`
+}
+
+// CompleteRequest submits a batch of finished points. Completions are
+// idempotent: re-submitting after a lost response or an expired lease
+// is safe, and each point counts once however many times it arrives.
+type CompleteRequest struct {
+	LeaseID  string           `json:"lease_id"`
+	WorkerID string           `json:"worker_id"`
+	Points   []CompletedPoint `json:"points"`
+}
+
+// CompleteResponse acknowledges a completion batch.
+type CompleteResponse struct {
+	// Accepted counts points this request newly satisfied.
+	Accepted int `json:"accepted"`
+	// Duplicates counts points that were already satisfied (late or
+	// repeated completions) — acknowledged, not re-recorded.
+	Duplicates int `json:"duplicates"`
+	// Done reports campaign completion, sparing the worker one more
+	// lease round-trip.
+	Done bool `json:"done"`
+}
+
+// StatusResponse is the coordinator's observable campaign state.
+type StatusResponse struct {
+	GridName    string `json:"grid_name,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+	Total       int    `json:"total"`
+	Completed   int    `json:"completed"`
+	Cached      int    `json:"cached"`
+	Quarantined int    `json:"quarantined,omitempty"`
+	Pending     int    `json:"pending"`
+	Leased      int    `json:"leased"`
+	Duplicates  int    `json:"duplicates"`
+	Reissued    int    `json:"reissued"`
+	RowsEmitted int    `json:"rows_emitted"`
+	Draining    bool   `json:"draining"`
+	Done        bool   `json:"done"`
+	Failed      bool   `json:"failed,omitempty"`
+}
+
+// Wire error codes. Each maps 1:1 onto a typed sentinel so errors.Is
+// works on both sides of the network.
+const (
+	codeLeaseExpired = "lease_expired"
+	codeUnknownLease = "unknown_lease"
+	codeDraining     = "draining"
+	codeBadRequest   = "bad_request"
+	// codeInternal marks coordinator-side failures (for example the
+	// cache refusing a write). It is the only retryable code: the
+	// request was fine, the coordinator could not honor it yet.
+	codeInternal = "internal"
+)
+
+// errorResponse is the JSON envelope every non-2xx response carries.
+type errorResponse struct {
+	Error apiError `json:"error"`
+}
+
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// httpStatus maps an error code to its transport status.
+func httpStatus(code string) int {
+	switch code {
+	case codeLeaseExpired:
+		return http.StatusGone
+	case codeUnknownLease:
+		return http.StatusNotFound
+	case codeDraining:
+		return http.StatusServiceUnavailable
+	case codeInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// sentinelFor maps a wire code back onto the typed sentinel the client
+// surfaces. Unknown codes map to a plain error so a newer coordinator
+// cannot crash an older worker.
+func sentinelFor(code, message string) error {
+	switch code {
+	case codeLeaseExpired:
+		return fmt.Errorf("%w: %s", ErrLeaseExpired, message)
+	case codeUnknownLease:
+		return fmt.Errorf("%w: %s", ErrUnknownLease, message)
+	case codeDraining:
+		return fmt.Errorf("%w: %s", ErrDraining, message)
+	default:
+		return errors.New("svc: " + code + ": " + message)
+	}
+}
+
+// codeFor maps a coordinator-side error to its wire code. Anything that
+// is neither a protocol sentinel nor a rejected request is an internal
+// failure, which clients treat as retryable.
+func codeFor(err error) string {
+	switch {
+	case errors.Is(err, ErrLeaseExpired):
+		return codeLeaseExpired
+	case errors.Is(err, ErrUnknownLease):
+		return codeUnknownLease
+	case errors.Is(err, ErrDraining):
+		return codeDraining
+	case errors.Is(err, errBadRequest):
+		return codeBadRequest
+	default:
+		return codeInternal
+	}
+}

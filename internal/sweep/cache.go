@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/scenario"
 )
@@ -18,11 +19,14 @@ import (
 // addressed and can be evicted by deleting the cache directory.
 const EngineVersion = "wlansim-engine/3"
 
-// specKey is the content address of a point: a SHA-256 over the
+// SpecKey is the content address of a point: a SHA-256 over the
 // canonical JSON of the defaulted spec — with the name and description
 // cleared, so two sweeps that describe the same physics share entries —
-// plus the engine version. Call only on validated specs.
-func specKey(sp *scenario.Spec) string {
+// plus the engine version. Call only on validated specs. It is exported
+// for the sweep service (internal/svc), whose lease/complete protocol
+// is keyed on exactly these addresses so completions stay idempotent
+// across lease reissues.
+func SpecKey(sp *scenario.Spec) string {
 	c := cloneSpec(sp)
 	c.Name = ""
 	c.Description = ""
@@ -51,8 +55,17 @@ type cacheEntry struct {
 // (temp file + rename), so concurrent shards may share one directory.
 // Eviction is manual and always safe: delete any entry, or the whole
 // directory, and the points are simply re-simulated.
+//
+// A corrupt or truncated entry (disk-level damage, or a write from a
+// tool predating atomic puts) is never trusted and never silently
+// skipped: Get quarantines it — renames it to <key>.corrupt so the
+// evidence survives for inspection and the address reads as a miss —
+// counts it (Quarantined), and the point is re-simulated.
 type Cache struct {
 	dir string
+
+	mu          sync.Mutex
+	quarantined int
 }
 
 // OpenCache creates (if needed) and opens a cache directory.
@@ -74,18 +87,45 @@ func (c *Cache) path(key string) string {
 }
 
 // Get returns the cached summary for a key, or false on a miss. A
-// corrupt or truncated entry (e.g. from a killed run predating atomic
-// writes) reads as a miss, never an error.
+// missing entry, or one written under a different engine version, is a
+// clean miss; a corrupt or truncated entry is quarantined (renamed to
+// <key>.corrupt, counted in Quarantined) and then reads as a miss, so
+// the point re-simulates instead of the damage being skipped silently.
 func (c *Cache) Get(key string) (*scenario.Summary, bool) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
 		return nil, false
 	}
 	var e cacheEntry
-	if err := json.Unmarshal(data, &e); err != nil || e.Engine != EngineVersion || e.Summary == nil {
+	if err := json.Unmarshal(data, &e); err != nil || e.Summary == nil {
+		c.quarantine(key)
+		return nil, false
+	}
+	if e.Engine != EngineVersion {
+		// A well-formed entry for another engine version is stale, not
+		// damaged: leave it for whoever still addresses that version.
 		return nil, false
 	}
 	return e.Summary, true
+}
+
+// quarantine moves a damaged entry aside so its address frees up for a
+// fresh simulation while the bytes stay inspectable. Rename failures
+// (e.g. a concurrent shard already quarantined it) still count the
+// sighting: the caller observed corruption either way.
+func (c *Cache) quarantine(key string) {
+	os.Rename(c.path(key), filepath.Join(c.dir, key[:2], key+".corrupt"))
+	c.mu.Lock()
+	c.quarantined++
+	c.mu.Unlock()
+}
+
+// Quarantined returns how many corrupt entries this Cache handle has
+// quarantined since it was opened.
+func (c *Cache) Quarantined() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quarantined
 }
 
 // Put stores a completed point. The spec rides along for debuggability

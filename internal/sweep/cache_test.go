@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,7 +30,7 @@ func TestCachePutGetRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	sp := validSpec(t)
-	key := specKey(sp)
+	key := SpecKey(sp)
 	if _, ok := c.Get(key); ok {
 		t.Fatal("empty cache reported a hit")
 	}
@@ -47,14 +49,14 @@ func TestCachePutGetRoundTrip(t *testing.T) {
 	}
 }
 
-func TestCacheMissesOnCorruptEntry(t *testing.T) {
+func TestCacheQuarantinesCorruptEntry(t *testing.T) {
 	dir := t.TempDir()
 	c, err := OpenCache(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sp := validSpec(t)
-	key := specKey(sp)
+	key := SpecKey(sp)
 	if err := c.Put(key, sp, &scenario.Summary{}); err != nil {
 		t.Fatal(err)
 	}
@@ -66,6 +68,79 @@ func TestCacheMissesOnCorruptEntry(t *testing.T) {
 	if _, ok := c.Get(key); ok {
 		t.Error("corrupt entry served as a hit")
 	}
+	if got := c.Quarantined(); got != 1 {
+		t.Errorf("Quarantined() = %d, want 1", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry still at its address: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key[:2], key+".corrupt")); err != nil {
+		t.Errorf("quarantined bytes not preserved: %v", err)
+	}
+	// The freed address accepts a fresh result.
+	if err := c.Put(key, sp, &scenario.Summary{Name: "fresh"}); err != nil {
+		t.Fatal(err)
+	}
+	if sum, ok := c.Get(key); !ok || sum.Name != "fresh" {
+		t.Errorf("re-simulated entry not served: ok=%v sum=%+v", ok, sum)
+	}
+}
+
+// TestRunQuarantinesTruncatedEntryMidCampaign is the regression test
+// for silent cache-corruption skips: a warm campaign whose cache loses
+// one entry to truncation must quarantine it, count it in Stats, and
+// re-simulate the point — with output bytes identical to the cold run.
+func TestRunQuarantinesTruncatedEntryMidCampaign(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &Grid{
+		Name: "quarantine",
+		Base: scenario.Spec{
+			Topology: scenario.TopologySpec{Kind: scenario.TopoConnected},
+			Duration: scenario.Duration(100e6),
+		},
+		Axes: []Axis{{Field: FieldNodes, Values: Ints(2, 3, 4)}},
+	}
+	var cold bytes.Buffer
+	st, err := (&Runner{Cache: c}).Stream(context.Background(), g, &cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Simulated != 3 || st.Quarantined != 0 {
+		t.Fatalf("cold run stats: %+v", st)
+	}
+	// Truncate the middle point's entry between runs.
+	pts, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(dir, pts[1].Key[:2], pts[1].Key+".json")
+	if err := os.WriteFile(victim, []byte(`{"engine":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warm bytes.Buffer
+	st, err = (&Runner{Cache: c}).Stream(context.Background(), g, &warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Simulated != 1 || st.Cached != 2 || st.Quarantined != 1 {
+		t.Errorf("post-corruption stats: %+v", st)
+	}
+	if !strings.Contains(st.String(), "1 quarantined") {
+		t.Errorf("stats line %q does not report the quarantine", st)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Error("re-simulated output drifted from the cold run")
+	}
+	if _, err := os.Stat(victim + ".corrupt"); err == nil {
+		t.Error("quarantine used <key>.json.corrupt, want <key>.corrupt")
+	}
+	if _, err := os.Stat(filepath.Join(dir, pts[1].Key[:2], pts[1].Key+".corrupt")); err != nil {
+		t.Errorf("quarantined entry missing: %v", err)
+	}
 }
 
 func TestCacheMissesOnEngineVersionMismatch(t *testing.T) {
@@ -75,7 +150,7 @@ func TestCacheMissesOnEngineVersionMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	sp := validSpec(t)
-	key := specKey(sp)
+	key := SpecKey(sp)
 	if err := c.Put(key, sp, &scenario.Summary{}); err != nil {
 		t.Fatal(err)
 	}
@@ -98,12 +173,12 @@ func TestSpecKeyIgnoresNameAndDescription(t *testing.T) {
 	b := validSpec(t)
 	b.Name = "entirely-different"
 	b.Description = "docs"
-	if specKey(a) != specKey(b) {
+	if SpecKey(a) != SpecKey(b) {
 		t.Error("name/description changed the cache key")
 	}
 	c := validSpec(t)
 	c.Seed = 2
-	if specKey(a) == specKey(c) {
+	if SpecKey(a) == SpecKey(c) {
 		t.Error("different seeds share a cache key")
 	}
 }

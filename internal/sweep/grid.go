@@ -444,7 +444,7 @@ func expand(g *Grid) ([]*Point, error) {
 			return nil, fmt.Errorf("sweep: point %s: %w", pt.Name, err)
 		}
 		pt.Spec = sp
-		pt.Key = specKey(&sp)
+		pt.Key = SpecKey(&sp)
 		pts = append(pts, pt)
 		for ai := len(axes) - 1; ai >= 0; ai-- {
 			idx[ai]++

@@ -70,13 +70,20 @@ type Stats struct {
 	Simulated int `json:"simulated"`
 	// Cached points were served from the cache without simulating.
 	Cached int `json:"cached"`
+	// Quarantined counts corrupt cache entries this run moved aside
+	// (to <key>.corrupt) and re-simulated instead of trusting.
+	Quarantined int `json:"quarantined,omitempty"`
 }
 
 // String renders the one-line report the CLI prints (CI greps it to
 // prove cache hits, so keep the "N simulated" phrasing stable).
 func (st Stats) String() string {
-	return fmt.Sprintf("%d/%d points (%d simulated, %d cached)",
+	s := fmt.Sprintf("%d/%d points (%d simulated, %d cached)",
 		st.Owned, st.Total, st.Simulated, st.Cached)
+	if st.Quarantined > 0 {
+		s += fmt.Sprintf(", %d quarantined", st.Quarantined)
+	}
+	return s
 }
 
 // PointResult pairs a point with its aggregate summary.
@@ -147,7 +154,7 @@ func (r *Runner) Each(ctx context.Context, g *Grid, emit func(*PointResult) erro
 func (r *Runner) Stream(ctx context.Context, g *Grid, w io.Writer) (Stats, error) {
 	bw := bufio.NewWriter(w)
 	st, err := r.run(ctx, g, func(pr *PointResult) error {
-		return writeRow(bw, pr)
+		return WriteRow(bw, pr)
 	}, bw.Flush)
 	if err != nil {
 		bw.Flush()
@@ -156,7 +163,12 @@ func (r *Runner) Stream(ctx context.Context, g *Grid, w io.Writer) (Stats, error
 	return st, bw.Flush()
 }
 
-func writeRow(w io.Writer, pr *PointResult) error {
+// WriteRow encodes one point result as its canonical JSONL row. The
+// byte encoding is the deterministic one Row promises, so any emitter
+// that writes completed points in index order through WriteRow — the
+// in-process Runner and the distributed coordinator alike — produces
+// identical streams.
+func WriteRow(w io.Writer, pr *PointResult) error {
 	axes := make(map[string]any, len(pr.Axes))
 	for _, av := range pr.Axes {
 		v := av.Value
@@ -272,6 +284,10 @@ func (r *Runner) runPoints(ctx context.Context, g *Grid, emit func(*PointResult)
 	// the pool's completion skew.
 	var missIdx []int
 	var missSpecs []*scenario.Spec
+	q0 := 0
+	if r.Cache != nil {
+		q0 = r.Cache.Quarantined()
+	}
 	for i, pt := range owned {
 		if r.Cache != nil {
 			if sum, ok := r.Cache.Get(pt.Key); ok {
@@ -297,6 +313,9 @@ func (r *Runner) runPoints(ctx context.Context, g *Grid, emit func(*PointResult)
 		}
 		missIdx = append(missIdx, i)
 		missSpecs = append(missSpecs, &owned[i].Spec)
+	}
+	if r.Cache != nil {
+		st.Quarantined = r.Cache.Quarantined() - q0
 	}
 	if err := flushDirty(); err != nil {
 		return st, err

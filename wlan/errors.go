@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"repro/internal/scenario"
+	"repro/internal/svc"
 	"repro/internal/sweep"
 )
 
@@ -29,6 +30,13 @@ var (
 	ErrCanceled = errors.New("wlan: run canceled")
 	// ErrClosed marks calls on a Lab after Close.
 	ErrClosed = errors.New("wlan: lab is closed")
+	// ErrLeaseExpired marks sweep-service work abandoned because the
+	// coordinator reissued the worker's lease to someone else. The
+	// points are not lost — they complete under the new lease.
+	ErrLeaseExpired = errors.New("wlan: sweep lease expired")
+	// ErrCoordinatorUnavailable marks a sweep-service worker that
+	// exhausted its retry budget without reaching the coordinator.
+	ErrCoordinatorUnavailable = errors.New("wlan: sweep coordinator unavailable")
 )
 
 // wrapErr maps internal-layer errors onto the package's typed sentinel
@@ -46,6 +54,10 @@ func wrapErr(err error) error {
 		return &wrappedErr{sentinel: ErrInvalidConfig, err: err}
 	case errors.Is(err, scenario.ErrClosed):
 		return &wrappedErr{sentinel: ErrClosed, err: err}
+	case errors.Is(err, svc.ErrLeaseExpired), errors.Is(err, svc.ErrUnknownLease):
+		return &wrappedErr{sentinel: ErrLeaseExpired, err: err}
+	case errors.Is(err, svc.ErrCoordinatorUnavailable):
+		return &wrappedErr{sentinel: ErrCoordinatorUnavailable, err: err}
 	}
 	return err
 }
