@@ -1,7 +1,7 @@
 # Development entry points. CI runs the same commands; see
 # .github/workflows/ci.yml.
 
-.PHONY: test verify lint bench bench-compare bench-gate bench-smoke api api-check
+.PHONY: test verify lint lint-json bench bench-compare bench-gate bench-smoke api api-check
 
 # Tier-1 verification: everything must build and every test must pass.
 verify:
@@ -10,12 +10,21 @@ verify:
 test: verify
 
 # Static analysis: go vet plus the project's own wlanvet analyzers
-# (determinism, inttime, hotpath, observerpurity, sentinelwrap — see
-# internal/analysis). wlanvet exits non-zero on any finding that does
-# not carry a reasoned //wlanvet:allow annotation.
+# (determinism, inttime, hotpath, observerpurity, sentinelwrap, and
+# the v2 concurrency set: goshare, atomicmix, rngstream, lockorder,
+# envelope — see internal/analysis). wlanvet exits non-zero on any
+# finding that does not carry a reasoned //wlanvet:allow annotation.
 lint:
 	go vet ./...
 	go run ./cmd/wlanvet ./...
+
+# Same gate, machine-readable: findings as a JSON array on stdout
+# (schema-stable file/line/col/analyzer/message, sorted by package
+# path then position — pinned by cmd/wlanvet's tests). CI pipes this
+# through jq into GitHub ::error annotations; editors and scripts can
+# consume it the same way. Exit status matches `lint`.
+lint-json:
+	go run ./cmd/wlanvet -json ./...
 
 # Regenerate the committed public-API snapshot after an intentional
 # surface change (CI diffs it; see cmd/apisnapshot).

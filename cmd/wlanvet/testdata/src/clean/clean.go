@@ -1,0 +1,7 @@
+// Package clean is the negative fixture for the wlanvet smoke test:
+// nothing here violates any analyzer, so checking it must exit 0 with
+// no output (and -json must emit an empty array, not null).
+package clean
+
+// Span keeps tick arithmetic in int64 end to end.
+func Span(from, to int64) int64 { return to - from }

@@ -1,0 +1,9 @@
+// Package slotsim is the seeded-violation fixture for the wlanvet
+// smoke test: the directory base places it under the sim-critical
+// scope exactly like the real slot simulator, and the narrowing
+// conversion below must surface as an inttime finding naming this
+// file and line with exit status 1.
+package slotsim
+
+// Truncate narrows a tick count — the minCounter bug class.
+func Truncate(ticks int64) int { return int(ticks) }

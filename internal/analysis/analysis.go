@@ -53,6 +53,10 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo holds the type-checker's results for Files.
 	TypesInfo *types.Info
+	// Facts is the shared whole-module analysis state (the call graph),
+	// computed once per driver run — the substrate that lets flow
+	// analyzers see past function boundaries. Nil in hand-built passes.
+	Facts *Facts
 
 	report func(Diagnostic)
 }
@@ -104,6 +108,17 @@ var SimCritical = map[string]bool{
 	"topo":     true,
 	"traffic":  true,
 	"mac":      true,
+	// Pure functions of their inputs, all on the seed→row path: the
+	// analytic models and scheduling policies, frame accounting, the
+	// declarative scheme/stat/trace layers, and the experiment
+	// orchestrators whose tables the paper figures are cut from.
+	"core":       true,
+	"experiment": true,
+	"frame":      true,
+	"model":      true,
+	"scheme":     true,
+	"stats":      true,
+	"trace":      true,
 }
 
 // SimExempt names packages that sit deliberately OUTSIDE the
@@ -120,8 +135,10 @@ var SimCritical = map[string]bool{
 // even if the same base is ever added to SimCritical by mistake; the
 // analysis tests additionally pin the two sets disjoint.
 var SimExempt = map[string]string{
-	"svc":   "coordinator/worker control plane: lease TTLs, heartbeat timers and retry backoff legitimately read wall clocks",
-	"chaos": "fault-injection transport: wall-clock-free but seeded-random by design, and its faults exist to disturb timing",
+	"svc":      "coordinator/worker control plane: lease TTLs, heartbeat timers and retry backoff legitimately read wall clocks",
+	"chaos":    "fault-injection transport: wall-clock-free but seeded-random by design, and its faults exist to disturb timing",
+	"analysis": "the static-analysis substrate itself: it shells out to the go command and reads the build cache, and it never executes between a seed and a result row",
+	"metrics":  "the observability registry: reading its own counters is its purpose (scrape, export, progress); observerpurity polices that sim code only ever writes to it",
 }
 
 // SimCriticalPkg reports whether the pass's package is inside the

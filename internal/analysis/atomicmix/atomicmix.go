@@ -1,0 +1,178 @@
+// Package atomicmix flags struct fields and package-level variables
+// that are accessed both through sync/atomic functions and through
+// plain reads/writes anywhere in the same package.
+//
+// The function-call half of sync/atomic (atomic.AddInt64(&s.n, 1))
+// leaves the variable an ordinary int64 that the compiler will happily
+// let any other line load or store plainly — and a plain access racing
+// an atomic one is a data race with all the usual consequences: torn
+// reads on 32-bit platforms, reordered visibility, and in this
+// repository's terms a seed-dependent nondeterminism inside a sharded
+// kernel. The typed half (atomic.Int64) makes the mix impossible,
+// which is why every atomic in the module today is typed; this
+// analyzer keeps the function-call style from quietly reintroducing
+// the mixable form. The repair is to migrate the variable to the typed
+// API — or, for a deliberate plain write before the value is ever
+// published to another goroutine (single-threaded construction), a
+// reasoned //wlanvet:allow annotation.
+//
+// The check is package-wide, not per-function: the whole point is
+// catching the atomic increment in one file and the plain reset in
+// another, which no single-function analyzer can see.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the mixed atomic/plain access checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable accessed through sync/atomic must never also be accessed plainly",
+	Run:  run,
+}
+
+// site is one access to a tracked variable.
+type site struct {
+	pos   token.Pos
+	write bool
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	atomicSites := map[*types.Var][]site{}
+	plainWrites := map[*types.Var][]site{}
+	plainReads := map[*types.Var][]site{}
+
+	// resolve maps an access expression to the variable it denotes:
+	// a struct field via its selection, a package-level or local var
+	// via its identifier.
+	resolve := func(e ast.Expr) *types.Var {
+		if f := analysis.FieldOf(info, e); f != nil {
+			return f
+		}
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				return v
+			}
+		}
+		return nil
+	}
+
+	// atomicArgs records the exact &x expressions consumed by atomic
+	// calls so the same node is not double-counted as a plain read.
+	atomicArgs := map[ast.Expr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			t := analysis.AtomicTarget(info, call)
+			if t == nil {
+				return true
+			}
+			atomicArgs[t] = true
+			if v := resolve(t); v != nil {
+				atomicSites[v] = append(atomicSites[v], site{pos: t.Pos()})
+			}
+			return true
+		})
+	}
+	if len(atomicSites) == 0 {
+		return nil // nothing atomic in the package, nothing can be mixed
+	}
+	// Assignment targets and inc/dec operands are recorded as writes;
+	// the set keeps the read pass from double-counting the same node.
+	writeExprs := map[ast.Expr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					writeExprs[lhs] = true
+					if v := resolve(lhs); v != nil {
+						if _, tracked := atomicSites[v]; tracked {
+							plainWrites[v] = append(plainWrites[v], site{pos: lhs.Pos(), write: true})
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				writeExprs[n.X] = true
+				if v := resolve(n.X); v != nil {
+					if _, tracked := atomicSites[v]; tracked {
+						plainWrites[v] = append(plainWrites[v], site{pos: n.X.Pos(), write: true})
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if atomicArgs[e] || writeExprs[e] {
+					// Consumed by an atomic call or counted as a write;
+					// do not descend, or the .field identifier inside
+					// would be re-counted as a plain read.
+					return false
+				}
+				if v := resolve(e); v != nil {
+					if _, tracked := atomicSites[v]; tracked {
+						plainReads[v] = append(plainReads[v], site{pos: e.Pos()})
+						return false
+					}
+				}
+			case *ast.Ident:
+				// Field accesses are counted at the selector level; a
+				// bare identifier only reaches here for package-level
+				// and local variables.
+				if atomicArgs[ast.Expr(e)] || writeExprs[ast.Expr(e)] {
+					return true
+				}
+				if v, ok := info.Uses[e].(*types.Var); ok && !v.IsField() {
+					if _, tracked := atomicSites[v]; tracked {
+						plainReads[v] = append(plainReads[v], site{pos: e.Pos()})
+					}
+				}
+			}
+			return true
+		})
+	}
+	var mixed []*types.Var
+	for v := range atomicSites {
+		if len(plainWrites[v]) > 0 || len(plainReads[v]) > 0 {
+			mixed = append(mixed, v)
+		}
+	}
+	sort.Slice(mixed, func(i, j int) bool { return mixed[i].Pos() < mixed[j].Pos() })
+	for _, v := range mixed {
+		sites := append(append([]site(nil), plainWrites[v]...), plainReads[v]...)
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		kind := "read"
+		for _, s := range sites {
+			if s.write {
+				kind = "write"
+				break
+			}
+		}
+		// Prefer reporting a write (the tearing side); else the first read.
+		rep := sites[0]
+		for _, s := range sites {
+			if s.write {
+				rep = s
+				break
+			}
+		}
+		pass.Reportf(rep.pos,
+			"plain %s of %s, which is accessed atomically elsewhere in this package; migrate it to the typed sync/atomic API (atomic.Int64 and friends) so the mix is impossible, or annotate pre-publication initialization with //wlanvet:allow <reason>",
+			kind, v.Name())
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analyzertest.Run(t, atomicmix.Analyzer, "countermix")
+}

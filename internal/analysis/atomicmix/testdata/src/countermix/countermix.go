@@ -1,0 +1,44 @@
+// Package countermix exercises the atomicmix rule: a variable touched
+// through sync/atomic function calls must never also be read or
+// written plainly anywhere in the package.
+package countermix
+
+import "sync/atomic"
+
+// stats mixes: an atomic increment in one method, a plain reset in
+// another.
+type stats struct{ n int64 }
+
+func (s *stats) bump() { atomic.AddInt64(&s.n, 1) }
+
+func (s *stats) reset() {
+	s.n = 0 // want `plain write of n, which is accessed atomically elsewhere`
+}
+
+// hits mixes at package level: atomic add here, plain read in report.
+var hits int64
+
+func observe() { atomic.AddInt64(&hits, 1) }
+
+func report() int64 {
+	return hits // want `plain read of hits, which is accessed atomically elsewhere`
+}
+
+// okstats is the repair: the typed API makes the mix impossible, so
+// nothing is tracked and nothing is reported.
+type okstats struct{ n atomic.Int64 }
+
+func (s *okstats) bump()       { s.n.Add(1) }
+func (s *okstats) read() int64 { return s.n.Load() }
+
+// warm shows the sanctioned plain write: single-threaded construction
+// before the value is published, under a reasoned allow.
+type warm struct{ gen int64 }
+
+func newWarm() *warm {
+	w := &warm{}
+	w.gen = 1 //wlanvet:allow single-threaded construction: w is unpublished until return, so no goroutine can observe the plain write
+	return w
+}
+
+func (w *warm) tick() { atomic.AddInt64(&w.gen, 1) }

@@ -1,0 +1,358 @@
+// Call-graph construction: the interprocedural substrate the v2
+// analyzers (goshare, rngstream, lockorder) stand on. Until now every
+// wlanvet analyzer was single-function — fine for syntactic properties
+// (a wall-clock call IS the bug), useless for flow properties, where
+// the bug is a relationship between functions: a mutex held HERE while
+// a callee three frames down locks ANOTHER one, an RNG created here
+// and drawn from over there on a different goroutine.
+//
+// The graph is class-hierarchy-analysis (CHA) style, built from
+// go/types alone so the framework stays std-only:
+//
+//   - a static call (package function, method on a concrete receiver)
+//     contributes one edge;
+//   - a call through an interface method contributes an edge to the
+//     corresponding method of every type in the loaded package set
+//     that implements the interface — sound over the loaded set,
+//     deliberately over-approximate (CHA never prunes by what a value
+//     can actually be);
+//   - a call through a plain function value contributes no edge (the
+//     loader has no SSA, so func-typed dataflow is invisible); the
+//     analyzers that care treat indirect calls conservatively at the
+//     call site instead.
+//
+// Function literals are attributed to their enclosing declaration:
+// edges out of a closure body belong to the function that lexically
+// contains it. What IS recorded separately is which functions are
+// goroutine entry points — the callee of a `go` statement, or any
+// closure/method value shipped somewhere it may be executed
+// concurrently (sent on a channel, stored into a struct field) — and
+// reachability from those entries, which is how "may run off the
+// spawning goroutine" stops being a per-function guess.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the module-wide CHA call graph over every package in one
+// driver run, shared between analyzers through Pass.Facts.
+type CallGraph struct {
+	// callees maps a function to the set of functions it may call.
+	callees map[*types.Func]map[*types.Func]bool
+	// spawned is the set of goroutine entry points: functions that are
+	// the callee of a `go` statement anywhere in the loaded set, or
+	// whose closure was shipped across a concurrency boundary (channel
+	// send / struct store of a func value, the worker-pool handoff
+	// pattern).
+	spawned map[*types.Func]bool
+	// decls maps a function object to its syntax (only for functions
+	// whose source is loaded — not for dependencies seen through export
+	// data).
+	decls map[*types.Func]*ast.FuncDecl
+	// pkgOf maps a loaded function to its Package, so analyzers can
+	// chase a callee into a sibling package's syntax.
+	pkgOf map[*types.Func]*Package
+
+	// concReach caches ConcurrentlyReachable.
+	concReach map[*types.Func]bool
+}
+
+// Facts is the shared, whole-module analysis state computed once per
+// driver run and handed to every Pass — the go/analysis pass.Facts
+// idea collapsed to what the v2 analyzers need.
+type Facts struct {
+	// CallGraph is the module-wide call graph, nil only in tests that
+	// construct a Pass by hand.
+	CallGraph *CallGraph
+
+	memo map[string]any
+}
+
+// Memo returns the value cached under key, building it on first use.
+// It is how an analyzer attaches derived module-wide state (for
+// example lockorder's per-function acquisition summaries) to one
+// driver run instead of recomputing it for every package. The driver
+// is single-goroutine per run, so no locking.
+func (f *Facts) Memo(key string, build func() any) any {
+	if f.memo == nil {
+		f.memo = map[string]any{}
+	}
+	if v, ok := f.memo[key]; ok {
+		return v
+	}
+	v := build()
+	f.memo[key] = v
+	return v
+}
+
+// BuildCallGraph constructs the CHA call graph for the loaded packages.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		callees:   map[*types.Func]map[*types.Func]bool{},
+		spawned:   map[*types.Func]bool{},
+		decls:     map[*types.Func]*ast.FuncDecl{},
+		pkgOf:     map[*types.Func]*Package{},
+		concReach: map[*types.Func]bool{},
+	}
+	methods := collectMethodSets(pkgs)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				g.decls[fn] = fd
+				g.pkgOf[fn] = pkg
+				g.addEdges(pkg, fn, fd.Body, methods)
+			}
+		}
+	}
+	return g
+}
+
+// concreteMethod is one (named type, method) pair for CHA dispatch.
+type concreteMethod struct {
+	typ *types.Named
+	fn  *types.Func
+}
+
+// collectMethodSets indexes every method of every named type declared
+// in the loaded packages by method name — the candidate set CHA
+// resolves interface calls against.
+func collectMethodSets(pkgs []*Package) map[string][]concreteMethod {
+	out := map[string][]concreteMethod{}
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				m := named.Method(i)
+				out[m.Name()] = append(out[m.Name()], concreteMethod{named, m})
+			}
+		}
+	}
+	return out
+}
+
+// addEdges walks one function body recording call edges and goroutine
+// entry points. Closures are attributed to fn.
+func (g *CallGraph) addEdges(pkg *Package, fn *types.Func, body ast.Node, methods map[string][]concreteMethod) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, callee := range g.resolve(pkg, n, methods) {
+				g.addEdge(fn, callee)
+			}
+		case *ast.GoStmt:
+			// The spawned function itself is an entry point; its edges
+			// (if it is a loaded declaration or a literal attributed to
+			// fn) are recorded by the surrounding walk.
+			for _, callee := range g.resolve(pkg, n.Call, methods) {
+				g.spawned[callee] = true
+			}
+			// `go func(){...}()` has no named callee: the closure body
+			// belongs to fn, so fn's OWN accesses gain a concurrent
+			// context. Recording fn as spawned would poison every
+			// caller, so the goshare analyzer inspects GoStmt closures
+			// syntactically instead; here we only mark named callees.
+		case *ast.SendStmt:
+			// A func value sent on a channel is the worker-pool handoff:
+			// whoever receives it may run it on any goroutine. Mark the
+			// named function (method values included) if one is visible.
+			if f := g.funcValue(pkg, n.Value); f != nil {
+				g.spawned[f] = true
+			}
+		}
+		return true
+	})
+}
+
+// funcValue resolves an expression used as a func VALUE (not called) to
+// the named function it denotes, or nil for literals and locals.
+func (g *CallGraph) funcValue(pkg *Package, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		f, _ := pkg.TypesInfo.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pkg.TypesInfo.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// resolve returns the possible callees of one call expression: the
+// static target, or the CHA candidate set for an interface method call.
+func (g *CallGraph) resolve(pkg *Package, call *ast.CallExpr, methods map[string][]concreteMethod) []*types.Func {
+	var id *ast.Ident
+	var sel *ast.SelectorExpr
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id, sel = fun.Sel, fun
+	default:
+		return nil
+	}
+	f, _ := pkg.TypesInfo.Uses[id].(*types.Func)
+	if f == nil {
+		return nil
+	}
+	// Interface dispatch: the selection's receiver is an interface, so
+	// f is the abstract method. Resolve over every loaded type whose
+	// method set satisfies the interface.
+	if sel != nil {
+		if s, ok := pkg.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if iface, ok := s.Recv().Underlying().(*types.Interface); ok {
+				var out []*types.Func
+				out = append(out, f) // keep the abstract target for identity
+				for _, cm := range methods[f.Name()] {
+					if implementsFor(cm.typ, iface) {
+						out = append(out, cm.fn)
+					}
+				}
+				return out
+			}
+		}
+	}
+	return []*types.Func{f}
+}
+
+// implementsFor reports whether the named type (or a pointer to it)
+// satisfies iface.
+func implementsFor(named *types.Named, iface *types.Interface) bool {
+	if types.Implements(named, iface) {
+		return true
+	}
+	return types.Implements(types.NewPointer(named), iface)
+}
+
+func (g *CallGraph) addEdge(from, to *types.Func) {
+	set := g.callees[from]
+	if set == nil {
+		set = map[*types.Func]bool{}
+		g.callees[from] = set
+	}
+	set[to] = true
+}
+
+// Callees returns fn's possible callees in deterministic order.
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func {
+	set := g.callees[fn]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]*types.Func, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return funcKey(out[i]) < funcKey(out[j]) })
+	return out
+}
+
+// funcKey is a stable, human-readable identity for ordering and
+// diagnostics: "pkgpath.(Recv).Name" for methods, "pkgpath.Name" for
+// functions.
+func funcKey(f *types.Func) string {
+	return f.FullName()
+}
+
+// Decl returns the loaded syntax for fn, or nil when fn comes from
+// export data (a dependency outside the analyzed set).
+func (g *CallGraph) Decl(fn *types.Func) *ast.FuncDecl { return g.decls[fn] }
+
+// Functions returns every function with loaded syntax, sorted by
+// FullName — the iteration order module-wide analyses (lockorder's
+// summary pass) use so their derived state is deterministic.
+func (g *CallGraph) Functions() []*types.Func {
+	out := make([]*types.Func, 0, len(g.decls))
+	for f := range g.decls {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return funcKey(out[i]) < funcKey(out[j]) })
+	return out
+}
+
+// PackageOf returns the loaded package declaring fn, or nil.
+func (g *CallGraph) PackageOf(fn *types.Func) *Package { return g.pkgOf[fn] }
+
+// Spawned reports whether fn is a direct goroutine entry point: the
+// callee of some `go` statement, or a func value shipped across a
+// channel/worker-pool boundary.
+func (g *CallGraph) Spawned(fn *types.Func) bool { return g.spawned[fn] }
+
+// ConcurrentlyReachable reports whether fn may execute off its caller's
+// goroutine: it is a goroutine entry point, or reachable from one
+// through call edges. Results are memoized; the graph must be fully
+// built before the first query.
+func (g *CallGraph) ConcurrentlyReachable(fn *types.Func) bool {
+	if v, ok := g.concReach[fn]; ok {
+		return v
+	}
+	// Compute the full reachable-from-spawned set once, on first query.
+	seen := map[*types.Func]bool{}
+	var stack []*types.Func
+	for f := range g.spawned {
+		if !seen[f] {
+			seen[f] = true
+			stack = append(stack, f)
+		}
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for callee := range g.callees[f] {
+			if !seen[callee] {
+				seen[callee] = true
+				stack = append(stack, callee)
+			}
+		}
+	}
+	for f := range g.decls {
+		g.concReach[f] = seen[f]
+	}
+	for f := range seen {
+		g.concReach[f] = true
+	}
+	if v, ok := g.concReach[fn]; ok {
+		return v
+	}
+	g.concReach[fn] = false
+	return false
+}
+
+// Reachable returns the set of functions reachable from the given
+// roots (inclusive) through call edges.
+func (g *CallGraph) Reachable(roots ...*types.Func) map[*types.Func]bool {
+	seen := map[*types.Func]bool{}
+	stack := append([]*types.Func(nil), roots...)
+	for _, r := range roots {
+		seen[r] = true
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for callee := range g.callees[f] {
+			if !seen[callee] {
+				seen[callee] = true
+				stack = append(stack, callee)
+			}
+		}
+	}
+	return seen
+}

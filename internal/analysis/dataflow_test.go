@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const lkSrc = `package lk
+
+import "sync"
+
+func probe(tag string) {}
+
+func earlyUnlock(mu *sync.Mutex, fail bool) {
+	mu.Lock()
+	if fail {
+		mu.Unlock()
+		probe("branch-after-unlock")
+		return
+	}
+	probe("fallthrough-held")
+	mu.Unlock()
+	probe("after-unlock")
+}
+
+func deferred(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	probe("deferred-held")
+}
+
+func looped(mu *sync.Mutex, n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		probe("loop-held")
+		mu.Unlock()
+	}
+	probe("after-loop")
+}
+
+func merged(mu, mu2 *sync.Mutex, fail bool) {
+	if fail {
+		mu.Lock()
+	} else {
+		mu.Lock()
+		mu2.Lock()
+	}
+	probe("intersection")
+}
+
+func closures(mu *sync.Mutex) func() {
+	mu.Lock()
+	defer mu.Unlock()
+	return func() {
+		probe("inside-lit")
+	}
+}
+
+type box struct{ mu sync.Mutex }
+
+func (b *box) locked() {
+	b.mu.Lock()
+	probe("field-held")
+	b.mu.Unlock()
+}
+`
+
+// probeHeld walks fn's body and returns tag -> held keys at each probe
+// call.
+func probeHeld(t *testing.T, pkg *Package, fnName string, keyFn func(ast.Expr) string) map[string][]string {
+	t.Helper()
+	var fd *ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if x, ok := d.(*ast.FuncDecl); ok && x.Name.Name == fnName {
+				fd = x
+			}
+		}
+	}
+	if fd == nil {
+		t.Fatalf("no function %q", fnName)
+	}
+	out := map[string][]string{}
+	WalkLocks(pkg.TypesInfo, fd.Body, keyFn, nil, func(n ast.Node, held map[string]bool) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "probe" {
+			return
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok {
+			return
+		}
+		out[strings.Trim(lit.Value, `"`)] = HeldKeys(held)
+	})
+	return out
+}
+
+func TestWalkLocksStructured(t *testing.T) {
+	pkg := checkSrc(t, "lk", lkSrc)
+	want := map[string]map[string][]string{
+		// The early-unlock branch terminates, so the fallthrough path
+		// keeps the lock; the branch itself sees it released.
+		"earlyUnlock": {
+			"branch-after-unlock": {},
+			"fallthrough-held":    {"mu"},
+			"after-unlock":        {},
+		},
+		// A deferred Unlock keeps the mutex held to function end.
+		"deferred": {"deferred-held": {"mu"}},
+		// Loop bodies run zero or more times: held inside, discarded
+		// after.
+		"looped": {"loop-held": {"mu"}, "after-loop": {}},
+		// Fallthrough branches merge by intersection.
+		"merged": {"intersection": {"mu"}},
+		// A function literal's body starts with an empty held set.
+		"closures": {"inside-lit": {}},
+	}
+	for fn, probes := range want {
+		got := probeHeld(t, pkg, fn, ExprKey)
+		for tag, keys := range probes {
+			g, ok := got[tag]
+			if !ok {
+				t.Errorf("%s: probe %q never visited", fn, tag)
+				continue
+			}
+			if len(keys) == 0 {
+				keys = nil
+			}
+			if len(g) == 0 {
+				g = nil
+			}
+			if !reflect.DeepEqual(g, keys) {
+				t.Errorf("%s: probe %q held = %v, want %v", fn, tag, g, keys)
+			}
+		}
+	}
+}
+
+func TestMutexKeyFieldKeyedByType(t *testing.T) {
+	pkg := checkSrc(t, "lk", lkSrc)
+	keyFn := func(e ast.Expr) string { return MutexKey(pkg.TypesInfo, "lk.locked", e) }
+	got := probeHeld(t, pkg, "locked", keyFn)
+	want := []string{"(lk.box).mu"}
+	if !reflect.DeepEqual(got["field-held"], want) {
+		t.Errorf("field mutex key = %v, want %v (keyed by declaring type, not instance)", got["field-held"], want)
+	}
+}
+
+const dfSrc = `package df
+
+import (
+	"sync"
+	"context"
+)
+
+var global int
+
+type carrier struct{ n int }
+
+func shapes(ctx context.Context) {
+	var mu sync.Mutex
+	local := 0
+	c := &carrier{}
+	ch := make(chan int)
+	go func(arg int) {
+		inner := arg
+		_ = inner
+		_ = local
+		_ = c
+		_ = global
+		_ = mu
+		_ = ctx
+		_ = ch
+	}(1)
+	for range []int{1} {
+		ch <- 0
+	}
+}
+
+func boundaries(jobs chan func()) {
+	go func() {}()
+	jobs <- func() {}
+	f := func() {}
+	f()
+}
+`
+
+func TestFreeVarsExcludesOwnAndPackageScope(t *testing.T) {
+	pkg := checkSrc(t, "df", dfSrc)
+	var lit *ast.FuncLit
+	ast.Inspect(pkg.Files[0], func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok && lit == nil {
+			lit, _ = g.Call.Fun.(*ast.FuncLit)
+		}
+		return true
+	})
+	if lit == nil {
+		t.Fatalf("no go-statement literal found")
+	}
+	var names []string
+	for _, v := range FreeVars(pkg.TypesInfo, lit) {
+		names = append(names, v.Name())
+	}
+	// Sorted by name; excludes the literal's own param/locals (arg,
+	// inner) and package-level state (global). The sync/context/chan
+	// captures are still free variables — sharing-SAFETY is a separate
+	// judgment (SharingSafeType), not FreeVars's.
+	want := []string{"c", "ch", "ctx", "local", "mu"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("FreeVars = %v, want %v", names, want)
+	}
+}
+
+func TestSharingSafeType(t *testing.T) {
+	pkg := checkSrc(t, "df", dfSrc)
+	scope := pkg.Types.Scope()
+	shapes := scope.Lookup("shapes").(*types.Func).Scope()
+	typeOf := func(name string) types.Type {
+		if v := shapes.Lookup(name); v != nil {
+			return v.Type()
+		}
+		t.Fatalf("no local %q", name)
+		return nil
+	}
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"mu", true},                                   // sync.Mutex
+		{"ctx", true},                                  // context.Context (interface anyway)
+		{"ch", true},                                   // channel
+		{"local", false} /* plain int */, {"c", false}, // *carrier
+	}
+	for _, c := range cases {
+		if got := SharingSafeType(typeOf(c.name)); got != c.want {
+			t.Errorf("SharingSafeType(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestGoBoundariesKinds(t *testing.T) {
+	pkg := checkSrc(t, "df", dfSrc)
+	var fd *ast.FuncDecl
+	for _, d := range pkg.Files[0].Decls {
+		if x, ok := d.(*ast.FuncDecl); ok && x.Name.Name == "boundaries" {
+			fd = x
+		}
+	}
+	bs := GoBoundaries(fd.Body)
+	var kinds []string
+	for _, b := range bs {
+		kinds = append(kinds, b.Kind)
+	}
+	// The go statement and the channel send cross a boundary; the
+	// plain local closure does not.
+	want := []string{"go statement", "channel send"}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("GoBoundaries kinds = %v, want %v", kinds, want)
+	}
+}

@@ -1,0 +1,286 @@
+// Package envelope checks the control plane's error envelope for
+// exhaustiveness: every typed sentinel maps to exactly one wire code,
+// every wire code to exactly one transport status, and every code the
+// server can emit is reconstructed to a sentinel on the client side —
+// so no error silently falls through a default arm into "internal
+// 500" semantics it was never meant to have.
+//
+// The svc wire contract (proto.go) is three total functions:
+//
+//	codeFor:     error  -> wire code   (server, errors.Is switch)
+//	httpStatus:  code   -> HTTP status (server)
+//	sentinelFor: code   -> sentinel    (client, errors.Is works cross-network)
+//
+// Each is a switch, and Go switches don't have exhaustiveness checks —
+// add a sentinel and forget one arm and the failure is silent: the new
+// error travels as retryable "internal", a worker retries a terminal
+// condition forever, and the chaos harness reads it as coordinator
+// flakiness. PR 9's lease-reissue work grew exactly this surface
+// (ErrCampaignFailed, quarantine) and every addition was a manual
+// three-file audit. This analyzer does the audit.
+//
+// The functions are identified by signature, not name — error→string,
+// string→int, string(,string)→error among the declarations of any
+// package that has all three — so the check follows the pattern, not
+// the package. Rules:
+//
+//  1. every package-level error sentinel (var Err…/err… of type error)
+//     is matched by errors.Is in some case of the error→code function;
+//  2. no sentinel is matched in two cases, and no two sentinels share
+//     a wire code (the mapping must stay bijective);
+//  3. every code the error→code function returns has an EXPLICIT case
+//     in the code→status function — relying on its default arm is the
+//     silent-fall-through this analyzer exists to reject;
+//  4. every such code likewise has an explicit reconstruction case in
+//     the code→sentinel function.
+//
+// A sentinel or code deliberately outside the envelope — a client-only
+// sentinel the server never emits, a code whose client-side identity
+// is intentionally opaque — carries //wlanvet:allow <reason> at its
+// declaration.
+package envelope
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the error-envelope exhaustiveness checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "envelope",
+	Doc:  "error sentinels, wire codes and HTTP statuses must map 1:1 with no default-arm fall-through",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Locate the envelope trio by signature.
+	var errToCode, codeToStatus, codeToErr *ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			switch {
+			case matches(sig, []string{"error"}, []string{"string"}):
+				errToCode = fd
+			case matches(sig, []string{"string"}, []string{"int"}):
+				codeToStatus = fd
+			case matches(sig, []string{"string"}, []string{"error"}) ||
+				matches(sig, []string{"string", "string"}, []string{"error"}):
+				codeToErr = fd
+			}
+		}
+	}
+	if errToCode == nil || codeToStatus == nil || codeToErr == nil {
+		return nil // not an envelope package
+	}
+
+	sentinelCase := map[*types.Var][]ast.Node{} // sentinel -> case clauses matching it
+	codeBySentinel := map[*types.Var]*types.Const{}
+	produced := map[*types.Const]bool{} // codes errToCode can return
+	ast.Inspect(errToCode.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		var caseSentinels []*types.Var
+		for _, cond := range cc.List {
+			ast.Inspect(cond, func(m ast.Node) bool {
+				if v := sentinelArg(info, m); v != nil {
+					caseSentinels = append(caseSentinels, v)
+				}
+				return true
+			})
+		}
+		for _, v := range caseSentinels {
+			sentinelCase[v] = append(sentinelCase[v], cc)
+		}
+		for _, stmt := range cc.Body {
+			ret, ok := stmt.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				continue
+			}
+			if c := constOf(info, ret.Results[0]); c != nil {
+				produced[c] = true
+				for _, v := range caseSentinels {
+					if prev, ok := codeBySentinel[v]; ok && prev != c {
+						pass.Reportf(cc.Pos(), "sentinel %s maps to two wire codes (%s and %s); the envelope mapping must stay a function", v.Name(), prev.Name(), c.Name())
+					}
+					codeBySentinel[v] = c
+				}
+			}
+		}
+		return true
+	})
+
+	// Rule 1: every package-level error sentinel is matched somewhere.
+	// Rule 2a: none is matched twice.
+	scope := pass.Pkg.Scope()
+	var sentinels []*types.Var
+	for _, name := range scope.Names() {
+		v, ok := scope.Lookup(name).(*types.Var)
+		if !ok || !isErrorType(v.Type()) {
+			continue
+		}
+		sentinels = append(sentinels, v)
+	}
+	sort.Slice(sentinels, func(i, j int) bool { return sentinels[i].Pos() < sentinels[j].Pos() })
+	for _, v := range sentinels {
+		switch n := len(sentinelCase[v]); {
+		case n == 0:
+			pass.Reportf(v.Pos(),
+				"sentinel %s has no case in %s: it will fall into the default arm and travel with semantics it was never assigned; add a case (and a wire code) or annotate a deliberately out-of-envelope sentinel with //wlanvet:allow <reason>",
+				v.Name(), errToCode.Name.Name)
+		case n > 1:
+			pass.Reportf(sentinelCase[v][1].Pos(),
+				"sentinel %s is matched by two cases in %s; only the first can ever fire", v.Name(), errToCode.Name.Name)
+		}
+	}
+	// Rule 2b: no two sentinels share a code.
+	codeUsers := map[*types.Const][]*types.Var{}
+	for _, v := range sentinels {
+		if c := codeBySentinel[v]; c != nil {
+			codeUsers[c] = append(codeUsers[c], v)
+		}
+	}
+	for _, v := range sentinels {
+		c := codeBySentinel[v]
+		if c == nil {
+			continue
+		}
+		if users := codeUsers[c]; len(users) > 1 && users[0] != v {
+			pass.Reportf(v.Pos(),
+				"sentinels %s and %s both map to wire code %s; the client cannot reconstruct two identities from one code",
+				users[0].Name(), v.Name(), c.Name())
+		}
+	}
+	// The default arm's code (returned outside any case) is also a
+	// produced code and must satisfy rules 3 and 4.
+	ast.Inspect(errToCode.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		if c := constOf(info, ret.Results[0]); c != nil {
+			produced[c] = true
+		}
+		return true
+	})
+
+	// Rules 3 and 4: explicit arms downstream for every produced code.
+	statusCases := caseConsts(info, codeToStatus)
+	rebuildCases := caseConsts(info, codeToErr)
+	var codes []*types.Const
+	for c := range produced {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i].Pos() < codes[j].Pos() })
+	for _, c := range codes {
+		if !statusCases[c] {
+			pass.Reportf(c.Pos(),
+				"wire code %s is emitted by %s but has no explicit case in %s: it rides the default arm's status, which silently rebinds if the default changes; add an explicit case",
+				c.Name(), errToCode.Name.Name, codeToStatus.Name.Name)
+		}
+		if !rebuildCases[c] {
+			pass.Reportf(c.Pos(),
+				"wire code %s is emitted by %s but never reconstructed by %s: clients cannot errors.Is on it; add a case or annotate a deliberately opaque code with //wlanvet:allow <reason>",
+				c.Name(), errToCode.Name.Name, codeToErr.Name.Name)
+		}
+	}
+	return nil
+}
+
+// matches reports whether sig's parameter and result types (by
+// types.Type.String) equal the given lists.
+func matches(sig *types.Signature, params, results []string) bool {
+	if sig.Params().Len() != len(params) || sig.Results().Len() != len(results) {
+		return false
+	}
+	for i, want := range params {
+		if sig.Params().At(i).Type().String() != want {
+			return false
+		}
+	}
+	for i, want := range results {
+		if sig.Results().At(i).Type().String() != want {
+			return false
+		}
+	}
+	return true
+}
+
+// sentinelArg returns the package-level error variable passed as the
+// target of an errors.Is call, or nil.
+func sentinelArg(info *types.Info, n ast.Node) *types.Var {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	f, _ := info.Uses[sel.Sel].(*types.Func)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "errors" || f.Name() != "Is" {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	if v == nil || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+// caseConsts collects the package-level constants appearing in fd's
+// case-clause expressions.
+func caseConsts(info *types.Info, fd *ast.FuncDecl) map[*types.Const]bool {
+	out := map[*types.Const]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			if c := constOf(info, e); c != nil {
+				out[c] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// constOf resolves an expression to the package-level constant it
+// names, or nil.
+func constOf(info *types.Info, e ast.Expr) *types.Const {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	c, _ := info.Uses[id].(*types.Const)
+	return c
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

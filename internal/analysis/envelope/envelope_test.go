@@ -1,0 +1,12 @@
+package envelope_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/envelope"
+)
+
+func TestEnvelope(t *testing.T) {
+	analyzertest.Run(t, envelope.Analyzer, "wire")
+}

@@ -1,0 +1,70 @@
+// Package wire exercises the envelope exhaustiveness rules on a stub
+// of the svc error envelope: the codeFor/httpStatus/sentinelFor trio
+// is found by signature, and every sentinel and wire code must be
+// explicitly mapped end to end.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+var (
+	ErrExpired   = errors.New("wire: expired")
+	ErrNoStatus  = errors.New("wire: no status")
+	ErrNoRebuild = errors.New("wire: no rebuild")
+	ErrAlias     = errors.New("wire: alias")   // want `sentinels ErrExpired and ErrAlias both map to wire code codeExpired`
+	ErrMissing   = errors.New("wire: missing") // want `sentinel ErrMissing has no case in codeFor`
+	//wlanvet:allow client-only sentinel: the server never emits it, so it has no wire code by design
+	ErrClientOnly = errors.New("wire: client only")
+)
+
+const (
+	codeExpired   = "expired"
+	codeNoStatus  = "no_status"  // want `wire code codeNoStatus is emitted by codeFor but has no explicit case in httpStatus`
+	codeNoRebuild = "no_rebuild" // want `wire code codeNoRebuild is emitted by codeFor but never reconstructed by sentinelFor`
+	//wlanvet:allow deliberately opaque: the fallback code is retryable-by-status, never a typed identity
+	codeFallback = "fallback"
+)
+
+func codeFor(err error) string {
+	switch {
+	case errors.Is(err, ErrExpired):
+		return codeExpired
+	case errors.Is(err, ErrNoStatus):
+		return codeNoStatus
+	case errors.Is(err, ErrNoRebuild):
+		return codeNoRebuild
+	case errors.Is(err, ErrAlias):
+		return codeExpired
+	case errors.Is(err, ErrExpired): // want `sentinel ErrExpired is matched by two cases in codeFor`
+		return codeExpired
+	default:
+		return codeFallback
+	}
+}
+
+func httpStatus(code string) int {
+	switch code {
+	case codeExpired:
+		return http.StatusGone
+	case codeNoRebuild:
+		return http.StatusTeapot
+	case codeFallback:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func sentinelFor(code, message string) error {
+	switch code {
+	case codeExpired:
+		return fmt.Errorf("%w: %s", ErrExpired, message)
+	case codeNoStatus:
+		return fmt.Errorf("%w: %s", ErrNoStatus, message)
+	default:
+		return errors.New(code + ": " + message)
+	}
+}

@@ -1,0 +1,488 @@
+// Package goshare enforces the goroutine-shared-state discipline the
+// contention-domain parallel kernel will be held to: every variable
+// that crosses a goroutine boundary must be sync-guarded (one mutex
+// held at every concurrent access site), atomic, or never written
+// after the spawn. The discipline exists in prose today — the comment
+// block above scenario.Runner.RunBatchFunc's mu/emitMu/failed triple —
+// and a sharded scheduler kernel is exactly the place where prose
+// stops scaling: a plain write racing a shard's read is a silent
+// nondeterminism, caught (if at all) by a golden three layers away, or
+// by -race only on the interleaving the test happened to hit.
+//
+// A goroutine boundary is a `go` statement's closure or a function
+// literal sent on a channel — the worker-pool handoff pattern
+// (scenario.Runner's pool.jobs, wlansvc's lease loop). A local closure
+// referenced from inside a boundary closure runs on that goroutine
+// too, transitively (the Runner's process closure), so its body is
+// analyzed as concurrent as well.
+//
+// For each variable captured by a concurrent closure the analyzer
+// classifies every access in the enclosing function — read or write,
+// atomic (a sync/atomic call on its address) or plain, and the set of
+// mutexes lexically held at the site — then requires one of:
+//
+//   - read-only after spawn: writes before the first (loop-adjusted)
+//     spawn point are initialization, and accesses after a
+//     sync.WaitGroup.Wait() join barrier are sequential again;
+//   - every concurrent access atomic — mixing atomic and plain access
+//     to the same variable is itself a finding (the plain side tears);
+//   - one common mutex held at every concurrent access site.
+//
+// Loop-variable capture into a goroutine closure is also a finding:
+// per-iteration loop semantics (Go ≥ 1.22) make it memory-safe, but
+// the repository's handoff convention is explicit — pass the value as
+// an argument or rebind it next to the spawn — so the reader never has
+// to know which language version's scoping rules apply.
+//
+// Escape hatches are the usual reasoned //wlanvet:allow annotations,
+// for sharing that is deliberate and protected by something the
+// lexical analysis cannot see (a channel handshake, a Once, an
+// external happens-before edge).
+package goshare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the goroutine-shared-state checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "goshare",
+	Doc:  "goroutine-shared variables must be mutex-guarded, atomic, or never written after spawn",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// access is one classified use of a shared variable.
+type access struct {
+	id     *ast.Ident
+	write  bool
+	atomic bool
+	lit    *ast.FuncLit // innermost concurrent container, nil = spawner code
+	held   []string     // mutex keys lexically held at the site
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	boundaries := analysis.GoBoundaries(fd.Body)
+	if len(boundaries) == 0 {
+		return
+	}
+	info := pass.TypesInfo
+
+	// Concurrent containers: the boundary literals, plus local closures
+	// referenced from inside one (they run on the spawned goroutine),
+	// to a fixpoint.
+	conc := map[*ast.FuncLit]bool{}
+	for _, b := range boundaries {
+		conc[b.Lit] = true
+	}
+	localLits := localFuncLits(info, fd.Body)
+	for changed := true; changed; {
+		changed = false
+		for v, lit := range localLits {
+			if conc[lit] {
+				continue
+			}
+			for cl := range conc {
+				if cl != lit && usesVar(info, cl, v) {
+					conc[lit] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	loops := collectLoops(fd.Body)
+	loopVars := collectLoopVars(info, fd.Body)
+
+	// Loop-variable capture into a spawned closure.
+	for _, b := range boundaries {
+		for _, v := range analysis.FreeVars(info, b.Lit) {
+			if loop, ok := loopVars[v]; ok && loop.Pos() <= b.Pos && b.Pos <= loop.End() {
+				pass.Reportf(b.Pos,
+					"goroutine closure captures loop variable %s; pass the iteration value as an argument or rebind it beside the spawn so the handoff is explicit",
+					v.Name())
+			}
+		}
+	}
+
+	// Candidate variables: everything a concurrent closure captures
+	// that is not sharing-safe by type. Loop variables are excluded —
+	// the capture rule above owns them, and one finding per bug is the
+	// contract.
+	candidates := map[*types.Var]bool{}
+	for lit := range conc {
+		for _, v := range analysis.FreeVars(info, lit) {
+			if _, isLoop := loopVars[v]; isLoop {
+				continue
+			}
+			if !analysis.SharingSafeType(v.Type()) {
+				candidates[v] = true
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+
+	// The concurrent window opens at the first spawn — widened to the
+	// start of any loop enclosing it, since a spawn in a loop repeats.
+	windowStart := token.Pos(-1)
+	for _, b := range boundaries {
+		start := b.Pos
+		for _, l := range loops {
+			if l.Pos() <= b.Pos && b.Pos <= l.End() && l.Pos() < start {
+				start = l.Pos()
+			}
+		}
+		if windowStart < 0 || start < windowStart {
+			windowStart = start
+		}
+	}
+	firstSpawn := pass.Fset.Position(windowStart)
+
+	// Join barriers: a sync.WaitGroup.Wait in spawner code makes later
+	// spawner accesses sequential again.
+	waits := waitGroupWaits(info, fd.Body, conc)
+
+	atomics := atomicIdents(info, fd.Body)
+	writes := writeIdents(fd.Body, atomics)
+	held := heldSets(info, fd, conc)
+
+	// Collect and classify every access to a candidate variable.
+	byVar := map[*types.Var][]access{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || !candidates[v] {
+			return true
+		}
+		byVar[v] = append(byVar[v], access{
+			id:     id,
+			write:  writes[id],
+			atomic: atomics[id],
+			lit:    innermostConc(conc, id.Pos()),
+			held:   held[id],
+		})
+		return true
+	})
+
+	vars := make([]*types.Var, 0, len(byVar))
+	for v := range byVar {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+
+	for _, v := range vars {
+		checkVar(pass, v, byVar[v], windowStart, waits, firstSpawn)
+	}
+}
+
+// checkVar applies the sharing discipline to one captured variable.
+func checkVar(pass *analysis.Pass, v *types.Var, accs []access, windowStart token.Pos, waits []token.Pos, firstSpawn token.Position) {
+	var concAccs []access
+	for _, a := range accs {
+		if a.lit != nil {
+			concAccs = append(concAccs, a)
+			continue
+		}
+		// Spawner-side access: concurrent only inside the window and
+		// before a join barrier.
+		if a.id.Pos() < windowStart {
+			continue
+		}
+		joined := false
+		for _, w := range waits {
+			if w > windowStart && w < a.id.Pos() {
+				joined = true
+				break
+			}
+		}
+		if !joined {
+			concAccs = append(concAccs, a)
+		}
+	}
+	anyWrite := false
+	for _, a := range concAccs {
+		if a.write {
+			anyWrite = true
+			break
+		}
+	}
+	if !anyWrite {
+		return // read-only sharing (or initialization-before-spawn) is fine
+	}
+	var atomicAccs, plainAccs []access
+	for _, a := range concAccs {
+		if a.atomic {
+			atomicAccs = append(atomicAccs, a)
+		} else {
+			plainAccs = append(plainAccs, a)
+		}
+	}
+	if len(atomicAccs) > 0 && len(plainAccs) > 0 {
+		p := plainAccs[0]
+		pass.Reportf(p.id.Pos(),
+			"mixed atomic and plain access to %s, which is shared with the goroutine spawned at %s:%d; every concurrent access must go through sync/atomic once any does",
+			v.Name(), shortFile(firstSpawn.Filename), firstSpawn.Line)
+		return
+	}
+	if len(plainAccs) == 0 {
+		return // uniformly atomic
+	}
+	// All plain: demand one mutex held at every concurrent access.
+	common := map[string]bool{}
+	for _, k := range plainAccs[0].held {
+		common[k] = true
+	}
+	for _, a := range plainAccs[1:] {
+		next := map[string]bool{}
+		for _, k := range a.held {
+			if common[k] {
+				next[k] = true
+			}
+		}
+		common = next
+	}
+	if len(common) > 0 {
+		return
+	}
+	// Report at the first unguarded concurrent write (the side that
+	// tears), falling back to the first concurrent access.
+	site := plainAccs[0]
+	for _, a := range plainAccs {
+		if a.write && len(a.held) == 0 {
+			site = a
+			break
+		}
+	}
+	pass.Reportf(site.id.Pos(),
+		"%s is written while shared with the goroutine spawned at %s:%d without a consistently held mutex; hold one mutex at every access, use sync/atomic, or stop writing after spawn (//wlanvet:allow <reason> if an external happens-before edge protects it)",
+		v.Name(), shortFile(firstSpawn.Filename), firstSpawn.Line)
+}
+
+// localFuncLits maps local variables to the function literals assigned
+// to them (process := func(...){...}), the pattern by which a closure's
+// body ends up running on a spawned goroutine without being the spawn
+// operand itself.
+func localFuncLits(info *types.Info, body ast.Node) map[*types.Var]*ast.FuncLit {
+	out := map[*types.Var]*ast.FuncLit{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				out[v] = lit
+			} else if v, ok := info.Uses[id].(*types.Var); ok {
+				out[v] = lit
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// usesVar reports whether lit's body references v.
+func usesVar(info *types.Info, lit *ast.FuncLit, v *types.Var) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// collectLoops returns every for/range statement in body.
+func collectLoops(body ast.Node) []ast.Stmt {
+	var out []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			out = append(out, n.(ast.Stmt))
+		}
+		return true
+	})
+	return out
+}
+
+// collectLoopVars maps iteration variables to their loop statement.
+func collectLoopVars(info *types.Info, body ast.Node) map[*types.Var]ast.Stmt {
+	out := map[*types.Var]ast.Stmt{}
+	add := func(e ast.Expr, loop ast.Stmt) {
+		if id, ok := e.(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				out[v] = loop
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				add(n.Key, n)
+				add(n.Value, n)
+			}
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, l := range init.Lhs {
+					add(l, n)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// waitGroupWaits returns the positions of sync.WaitGroup.Wait calls in
+// spawner code (concurrent containers excluded).
+func waitGroupWaits(info *types.Info, body ast.Node, conc map[*ast.FuncLit]bool) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && conc[lit] {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" || f.Name() != "Wait" {
+			return true
+		}
+		out = append(out, call.Pos())
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// atomicIdents marks the root identifiers of sync/atomic call targets:
+// atomic.AddInt64(&n, 1) marks the n ident.
+func atomicIdents(info *types.Info, body ast.Node) map[*ast.Ident]bool {
+	out := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if t := analysis.AtomicTarget(info, call); t != nil {
+			if root := analysis.RootIdent(t); root != nil {
+				out[root] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// writeIdents marks identifiers through which a write happens: the
+// root of an assignment target or ++/--, and non-atomic address-taking
+// (an escaping alias may be written anywhere, so it counts as a write
+// for discipline purposes).
+func writeIdents(body ast.Node, atomics map[*ast.Ident]bool) map[*ast.Ident]bool {
+	out := map[*ast.Ident]bool{}
+	mark := func(e ast.Expr) {
+		if root := analysis.RootIdent(e); root != nil {
+			out[root] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if root := analysis.RootIdent(n.X); root != nil && !atomics[root] {
+					out[root] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// heldSets computes, per classified container, the mutexes lexically
+// held at every identifier: spawner code is walked skipping concurrent
+// closures, and each concurrent closure is walked on its own (its
+// critical sections are the ones it opens itself).
+func heldSets(info *types.Info, fd *ast.FuncDecl, conc map[*ast.FuncLit]bool) map[*ast.Ident][]string {
+	out := map[*ast.Ident][]string{}
+	record := func(n ast.Node, held map[string]bool) {
+		if id, ok := n.(*ast.Ident); ok && len(held) > 0 {
+			out[id] = analysis.HeldKeys(held)
+		}
+	}
+	skipConc := func(lit *ast.FuncLit) bool { return conc[lit] }
+	analysis.WalkLocks(info, fd.Body, analysis.ExprKey, skipConc, record)
+	for lit := range conc {
+		inner := lit
+		skipNested := func(l *ast.FuncLit) bool { return l != inner && conc[l] }
+		analysis.WalkLocks(info, lit.Body, analysis.ExprKey, skipNested, record)
+	}
+	return out
+}
+
+// innermostConc returns the innermost concurrent closure containing
+// pos, or nil for spawner code.
+func innermostConc(conc map[*ast.FuncLit]bool, pos token.Pos) *ast.FuncLit {
+	var best *ast.FuncLit
+	for lit := range conc {
+		if lit.Pos() <= pos && pos <= lit.End() {
+			if best == nil || lit.Pos() > best.Pos() {
+				best = lit
+			}
+		}
+	}
+	return best
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,12 @@
+package goshare_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/goshare"
+)
+
+func TestGoshare(t *testing.T) {
+	analyzertest.Run(t, goshare.Analyzer, "workpool")
+}

@@ -1,0 +1,118 @@
+// Package workpool exercises the goshare discipline: variables shared
+// with a spawned goroutine are mutex-guarded, atomic, or never written
+// after the spawn; loop variables are handed off explicitly.
+package workpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// unguarded writes a captured variable from both sides of a spawn with
+// no mutex anywhere: the canonical race.
+func unguarded() int {
+	counter := 0
+	done := make(chan bool)
+	go func() {
+		counter++ // want `counter is written while shared with the goroutine spawned`
+		done <- true
+	}()
+	counter++
+	<-done
+	return counter
+}
+
+// guarded is the sanctioned shape: one mutex at every concurrent
+// access, and the post-Wait read is sequential again.
+func guarded() int {
+	var mu sync.Mutex
+	counter := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		counter++
+		mu.Unlock()
+	}()
+	mu.Lock()
+	counter++
+	mu.Unlock()
+	wg.Wait()
+	return counter // after the join barrier: no lock needed
+}
+
+// initThenRead writes only before the spawn — initialization, not
+// sharing.
+func initThenRead() int {
+	cfg := 7
+	cfg *= 2
+	ch := make(chan int)
+	go func() { ch <- cfg }()
+	return <-ch
+}
+
+// loopCapture spawns a closure over the iteration variable instead of
+// handing the value off explicitly.
+func loopCapture() {
+	for i := 0; i < 4; i++ {
+		go func() { // want `goroutine closure captures loop variable i`
+			_ = i
+		}()
+	}
+}
+
+// rebind is the repository's handoff convention: the iteration value is
+// rebound beside the spawn, so the captured variable is loop-local.
+func rebind(jobs chan func()) {
+	for i := 0; i < 4; i++ {
+		i := i
+		jobs <- func() { _ = i }
+	}
+}
+
+// fixpoint mirrors scenario.Runner's process closure: a local closure
+// referenced from a channel-sent literal runs on the worker goroutine,
+// so its accesses are concurrent — and guarded here.
+func fixpoint(jobs chan func()) func() int {
+	var mu sync.Mutex
+	total := 0
+	process := func(n int) {
+		mu.Lock()
+		total += n
+		mu.Unlock()
+	}
+	jobs <- func() { process(1) }
+	return func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return total
+	}
+}
+
+// mixed combines an atomic add on the goroutine side with a plain
+// increment on the spawner side.
+func mixed() int64 {
+	var n int64
+	done := make(chan bool)
+	go func() {
+		atomic.AddInt64(&n, 1)
+		done <- true
+	}()
+	n++ // want `mixed atomic and plain access to n`
+	<-done
+	return n
+}
+
+// allowed demonstrates the escape hatch: the channel receive below the
+// write is a happens-before edge the lexical analysis cannot see.
+func allowed() bool {
+	flag := false
+	done := make(chan bool)
+	go func() {
+		flag = true //wlanvet:allow handshake: the done receive below happens-after this write, so the spawner read is sequential
+		done <- true
+	}()
+	<-done
+	return flag
+}

@@ -1,0 +1,259 @@
+// Package rngstream enforces RNG stream ownership in the sim-critical
+// packages: every generator is derived through the seed-substream
+// helper (sim.NewRNG at the root, RNG.Split/SplitInto below it), and
+// no generator — nor any struct carrying one — crosses a goroutine
+// boundary.
+//
+// The contract behind it is the repository's strongest one: same seed
+// ⇒ bit-identical output at any parallelism, which PR 2 pinned for
+// replication fan-out and the contention-domain kernel will have to
+// re-earn per shard. Stream ownership is what makes that possible. A
+// raw rand.New bypasses seed-addressing (its draws are not a function
+// of the replication seed and stream index, so two shard layouts
+// consume different substreams); a *rand.Rand handed to a goroutine is
+// worse — two shards interleaving draws from one stream produce
+// results that depend on the scheduler, the exact nondeterminism the
+// determinism analyzer exists to make unrepresentable. The PR 4 arena
+// work already threads one RNG per replication precisely to avoid
+// this; the analyzer turns that convention into a gate.
+//
+// Three rules, all scoped to sim-critical packages:
+//
+//  1. rand.New / rand.NewSource (math/rand and v2) may appear only in
+//     internal/sim itself, which implements the substream helper —
+//     everywhere else streams come from NewRNG/Split/SplitInto;
+//  2. no RNG-typed value (sim.RNG, sim.FloatBatch, anything from
+//     math/rand) may be captured by a goroutine closure, passed to a
+//     spawned call, or sent on a channel;
+//  3. no struct whose fields (transitively, through named structs)
+//     carry an RNG may cross those same boundaries, and a function the
+//     call graph marks as a goroutine entry point may not take an RNG
+//     parameter.
+//
+// The worker-pool arena handoff in scenario.Runner — one simulator
+// (with its RNGs) owned by exactly one worker for the replication's
+// duration — is the sanctioned ownership-transfer pattern: the arena
+// is created inside the worker goroutine, so no RNG ever crosses the
+// boundary. Sharing that is deliberate and externally serialized
+// carries a reasoned //wlanvet:allow annotation.
+package rngstream
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the RNG stream-ownership checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngstream",
+	Doc:  "RNGs in sim-critical code must come from the seed-substream helper and never cross a goroutine boundary",
+	Run:  run,
+}
+
+// rawConstructors are the math/rand entry points that mint a stream
+// outside the seed-substream discipline.
+var rawConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.SimCriticalPkg(pass) {
+		return nil
+	}
+	base := analysis.PkgBase(pass.Pkg.Path())
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		// Rule 1: raw constructors outside the helper package.
+		if base != "sim" {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(info, call)
+				if f == nil || f.Pkg() == nil {
+					return true
+				}
+				if (f.Pkg().Path() == "math/rand" || f.Pkg().Path() == "math/rand/v2") && rawConstructors[f.Name()] {
+					pass.Reportf(call.Pos(),
+						"rand.%s mints a stream outside the seed-substream discipline; derive it with sim.NewRNG at the root and RNG.Split/SplitInto below, so draws are a function of (seed, stream index) at any shard count",
+						f.Name())
+				}
+				return true
+			})
+		}
+		// Rules 2 and 3: goroutine boundaries.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBoundaries(pass, fd)
+			checkSpawnedDecl(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkBoundaries inspects every goroutine boundary in fd for RNG
+// values crossing it: captured by the closure, passed as a spawn
+// argument, or sent on a channel.
+func checkBoundaries(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	for _, b := range analysis.GoBoundaries(fd.Body) {
+		for _, v := range analysis.FreeVars(info, b.Lit) {
+			if why := rngCarrier(v.Type(), nil); why != "" {
+				pass.Reportf(b.Pos,
+					"goroutine closure (%s) captures %s, which %s; one goroutine must own a stream exclusively — Split a substream inside the goroutine instead",
+					b.Kind, v.Name(), why)
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if t := info.TypeOf(arg); t != nil {
+					if why := rngCarrier(t, nil); why != "" {
+						pass.Reportf(arg.Pos(),
+							"argument to spawned call %s; an RNG must not flow across a goroutine boundary — derive a substream on the receiving side",
+							why)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if t := info.TypeOf(n.Value); t != nil {
+				if why := rngCarrier(t, nil); why != "" {
+					pass.Reportf(n.Value.Pos(),
+						"value sent on channel %s; an RNG must not flow across a goroutine boundary — derive a substream on the receiving side",
+						why)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkSpawnedDecl flags functions the module call graph marks as
+// goroutine entry points whose signature receives an RNG — the
+// interprocedural form of rule 2: the spawn site may be in another
+// package entirely.
+func checkSpawnedDecl(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if pass.Facts == nil || pass.Facts.CallGraph == nil {
+		return
+	}
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if fn == nil || !pass.Facts.CallGraph.Spawned(fn) {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	check := func(v *types.Var, role string) {
+		if v == nil {
+			return
+		}
+		if why := rngCarrier(v.Type(), nil); why != "" {
+			pass.Reportf(fd.Pos(),
+				"%s runs as a goroutine entry point (per the call graph) but its %s %q %s; the stream must be derived inside the goroutine, not handed across the spawn",
+				fn.Name(), role, v.Name(), why)
+		}
+	}
+	check(sig.Recv(), "receiver")
+	for i := 0; i < sig.Params().Len(); i++ {
+		check(sig.Params().At(i), "parameter")
+	}
+}
+
+// rngCarrier reports why t carries an RNG: it is one, or a struct
+// reachable from it (through pointers and named struct fields, depth
+// bounded by the seen set) embeds one. Empty string = clean.
+func rngCarrier(t types.Type, seen map[*types.Named]bool) string {
+	for {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if isRNG(t) {
+		return "is an RNG (" + t.String() + ")"
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	if seen == nil {
+		seen = map[*types.Named]bool{}
+	}
+	if seen[named] {
+		return ""
+	}
+	seen[named] = true
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		for {
+			if p, ok := ft.Underlying().(*types.Pointer); ok {
+				ft = p.Elem()
+				continue
+			}
+			break
+		}
+		if isRNG(ft) {
+			return "carries an RNG in field " + st.Field(i).Name()
+		}
+		if inner, ok := ft.(*types.Named); ok {
+			if why := rngCarrier(inner, seen); why != "" {
+				return "carries an RNG through field " + st.Field(i).Name() + " (" + why + ")"
+			}
+		}
+	}
+	return ""
+}
+
+// isRNG reports whether t is a generator type: the repository's
+// sim.RNG/FloatBatch, or anything named in math/rand or math/rand/v2.
+func isRNG(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		return true
+	}
+	if analysis.PkgBase(obj.Pkg().Path()) == "sim" {
+		switch obj.Name() {
+		case "RNG", "FloatBatch":
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call to the package-level *types.Func it
+// invokes, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}

@@ -1,0 +1,12 @@
+package rngstream_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/rngstream"
+)
+
+func TestRngstream(t *testing.T) {
+	analyzertest.Run(t, rngstream.Analyzer, "slotsim", "chaos")
+}

@@ -1,0 +1,11 @@
+// Package chaos (exempt by name) may mint raw streams: fault-injection
+// jitter is outside the determinism contract, so rngstream stays
+// silent here.
+package chaos
+
+import "math/rand"
+
+// Jitter draws fault-injection noise from a throwaway stream.
+func Jitter(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

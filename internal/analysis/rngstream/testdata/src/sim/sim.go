@@ -1,0 +1,21 @@
+// Package sim is a stub of the repository's seed-substream helper:
+// the one place rngstream permits raw math/rand construction, and the
+// source of the RNG type the analyzer tracks across goroutine
+// boundaries.
+package sim
+
+import "math/rand"
+
+// RNG is the deterministic substream generator.
+type RNG struct{ r *rand.Rand }
+
+// NewRNG roots a stream at seed.
+func NewRNG(seed int64) *RNG { return &RNG{r: rand.New(rand.NewSource(seed))} }
+
+// Split derives an independent substream addressed by (label, idx).
+func (g *RNG) Split(label string, idx int64) *RNG {
+	return NewRNG(int64(len(label))<<32 ^ idx)
+}
+
+// Float64 draws from the stream.
+func (g *RNG) Float64() float64 { return g.r.Float64() }

@@ -1,0 +1,69 @@
+// Package slotsim (sim-critical by name) exercises the rngstream
+// rules: streams derive through the substream helper, and neither an
+// RNG nor a struct carrying one crosses a goroutine boundary.
+package slotsim
+
+import (
+	"math/rand"
+
+	"sim"
+)
+
+// freshRaw mints streams outside the helper: both constructor calls
+// are findings.
+func freshRaw(seed int64) *rand.Rand {
+	src := rand.NewSource(seed) // want `rand.NewSource mints a stream outside the seed-substream discipline`
+	return rand.New(src)        // want `rand.New mints a stream outside the seed-substream discipline`
+}
+
+// derived is the sanctioned path: root comes from the helper, draws
+// come from addressed substreams.
+func derived(root *sim.RNG) float64 {
+	return root.Split("station", 3).Float64()
+}
+
+// leak captures a stream into a spawned closure: two goroutines would
+// interleave draws from one stream, scheduler-dependently.
+func leak(root *sim.RNG, out chan float64) {
+	go func() { // want `goroutine closure \(go statement\) captures root, which is an RNG`
+		out <- root.Float64()
+	}()
+}
+
+// send ships a stream through a channel — the same boundary, worker-
+// pool shaped.
+func send(ch chan *sim.RNG, root *sim.RNG) {
+	ch <- root // want `value sent on channel is an RNG`
+}
+
+// spawnArg hands the stream across the spawn as an argument; consume
+// is additionally flagged at its declaration because the call graph
+// marks it a goroutine entry point with an RNG parameter.
+func spawnArg(root *sim.RNG) {
+	go consume(root) // want `argument to spawned call is an RNG`
+}
+
+func consume(r *sim.RNG) { // want `consume runs as a goroutine entry point .* parameter "r" is an RNG`
+	_ = r.Float64()
+}
+
+// station carries a stream in a field; capturing the struct captures
+// the stream.
+type station struct {
+	id  int
+	rng *sim.RNG
+}
+
+func carrier(st *station, out chan int) {
+	go func() { // want `captures st, which carries an RNG in field rng`
+		out <- st.id
+	}()
+}
+
+// pooled shows the escape hatch: ownership transfer where the spawner
+// provably never draws again.
+func pooled(root *sim.RNG, out chan float64) {
+	go func() { //wlanvet:allow ownership transfer: the spawner never touches root after this statement, so the goroutine owns the stream exclusively
+		out <- root.Float64()
+	}()
+}

@@ -28,6 +28,10 @@ type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// PkgPath is the import path of the package the finding is in; it
+	// is the primary sort key, so multi-package runs produce the same
+	// order however the loader enumerated the patterns.
+	PkgPath string
 }
 
 func (f Finding) String() string {
@@ -96,12 +100,25 @@ func IsHotpath(fd *ast.FuncDecl) bool {
 }
 
 // Run applies every analyzer to every package, resolves //wlanvet:allow
-// suppressions, and returns the surviving findings sorted by position.
-// An analyzer error (a framework bug, not a finding) aborts the run.
+// suppressions, and returns the surviving findings sorted by package
+// path, then position — one aggregated result however many packages
+// matched, so a multi-package invocation has a deterministic order and
+// a single combined exit rather than first-package-wins. An analyzer
+// error (a framework bug, not a finding) aborts the run.
+//
+// Before the per-package loop, Run builds the module-wide call graph
+// over ALL loaded packages and shares it with every pass through
+// Pass.Facts: the flow analyzers (goshare, rngstream, lockorder) are
+// interprocedural and would be blind past a function boundary without
+// it.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	facts := &Facts{CallGraph: BuildCallGraph(pkgs)}
 	var findings []Finding
 	for _, pkg := range pkgs {
 		allows, bad := scanAllows(pkg.Fset, pkg.Files)
+		for i := range bad {
+			bad[i].PkgPath = pkg.Path
+		}
 		findings = append(findings, bad...)
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -110,6 +127,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Facts:     facts,
 			}
 			var diags []Diagnostic
 			pass.report = func(d Diagnostic) { diags = append(diags, d) }
@@ -121,12 +139,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				if allows.suppressed(pos) {
 					continue
 				}
-				findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+				findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message, PkgPath: pkg.Path})
 			}
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
+		if a.PkgPath != b.PkgPath {
+			return a.PkgPath < b.PkgPath
+		}
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}

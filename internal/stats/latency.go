@@ -39,10 +39,12 @@ const (
 func bucketOf(v int64) int {
 	u := uint64(v)
 	if u < histSub {
+		//wlanvet:allow bounded conversion: this branch requires u < histSub (= 8), which fits an int of any width
 		return int(u)
 	}
 	exp := bits.Len64(u) - 1 // position of the MSB, ≥ histSubBits
 	sub := u >> (uint(exp) - histSubBits)
+	//wlanvet:allow bounded conversion: the shift leaves exactly histSubBits+1 significant bits, so sub < 2*histSub (= 16) fits an int of any width
 	return (exp-histSubBits)*histSub + int(sub)
 }
 

@@ -136,10 +136,15 @@ const (
 	codeLeaseExpired = "lease_expired"
 	codeUnknownLease = "unknown_lease"
 	codeDraining     = "draining"
-	codeBadRequest   = "bad_request"
+	// codeBadRequest is terminal and deliberately anonymous on the
+	// client: retrying the same bytes cannot succeed, and callers act on
+	// the message, not a typed identity.
+	//wlanvet:allow deliberately opaque to sentinelFor: bad_request is terminal-by-status; exposing a typed identity would invite clients to branch on a server-validation detail
+	codeBadRequest = "bad_request"
 	// codeInternal marks coordinator-side failures (for example the
 	// cache refusing a write). It is the only retryable code: the
 	// request was fine, the coordinator could not honor it yet.
+	//wlanvet:allow deliberately opaque to sentinelFor: internal is retryable-by-code, never a typed identity clients branch on; a sentinel here would freeze coordinator internals into the contract
 	codeInternal = "internal"
 )
 
@@ -162,9 +167,13 @@ func httpStatus(code string) int {
 		return http.StatusNotFound
 	case codeDraining:
 		return http.StatusServiceUnavailable
+	case codeBadRequest:
+		return http.StatusBadRequest
 	case codeInternal:
 		return http.StatusInternalServerError
 	default:
+		// Unknown codes (a newer coordinator talking to an older
+		// worker's vocabulary) degrade to 400: terminal, don't retry.
 		return http.StatusBadRequest
 	}
 }

@@ -15,6 +15,8 @@ import (
 // crash switch. A killed worker never completes its in-flight lease and
 // never heartbeats again, which is exactly what a SIGKILLed process
 // looks like from the coordinator's side.
+//
+//wlanvet:allow process-local sentinel: Kill terminates the worker loop in-process; it never crosses the wire, so it has no code in the error envelope
 var errWorkerKilled = errors.New("svc: worker killed")
 
 // WorkerConfig configures a sweep worker.

@@ -178,6 +178,7 @@ func Analyze(r io.Reader) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	//wlanvet:allow map order re-established: Stations is sorted by station id immediately below, so iteration order never reaches the summary
 	for _, st := range byStation {
 		s.Stations = append(s.Stations, *st)
 	}
@@ -259,6 +260,7 @@ func (s *Summary) String() string {
 	out := fmt.Sprintf("frames %d over %.2fs  goodput %.3f Mbps  collided %d\n",
 		s.Frames, s.SpanS, s.GoodputBp/1e6, s.Collided)
 	types := make([]string, 0, len(s.ByType))
+	//wlanvet:allow map order re-established: the slice is sort.Strings-ed immediately below before rendering
 	for k := range s.ByType {
 		types = append(types, k)
 	}
